@@ -1,0 +1,150 @@
+"""Benchmarks regenerating every table and figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark executes one experiment at benchmark scale, records the
+paper-facing headline numbers in ``extra_info``, asserts the *shape*
+the paper reports, and prints the regenerated rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (fig01_io_profile, fig02_cpu_collective,
+                               fig03_cpu_independent, fig09_ratio_speedup,
+                               fig10_scalability, fig11_overhead,
+                               fig12_metadata, fig13_wrf, table1_incite)
+
+from conftest import run_once
+
+
+def settings_of(result):
+    return dict(result.settings)
+
+
+def finish(benchmark, result, keys):
+    info = settings_of(result)
+    for key in keys:
+        if key in info:
+            benchmark.extra_info[key] = info[key]
+    print()
+    print(result.render())
+
+
+def test_table1_incite(benchmark):
+    result = run_once(benchmark, table1_incite.run)
+    assert len(result.rows) == 10
+    finish(benchmark, result, ["total on-line (TB)", "total off-line (TB)"])
+
+
+def test_fig01_io_profile(benchmark):
+    result = run_once(benchmark, fig01_io_profile.run)
+    ratio = settings_of(result)["shuffle/read per-iteration ratio"]
+    # Paper: shuffle per iteration is substantial, approaching the read.
+    assert 0.3 < ratio < 1.5
+    finish(benchmark, result,
+           ["shuffle/read per-iteration ratio", "total read (critical, s)",
+            "total shuffle (critical, s)"])
+
+
+def test_fig02_cpu_collective(benchmark):
+    result = run_once(benchmark, fig02_cpu_collective.run, iterations=20)
+    info = settings_of(result)
+    assert info["overall wait%"] > 50  # I/O wait dominates
+    finish(benchmark, result,
+           ["overall user%", "overall sys%", "overall wait%"])
+
+
+def test_fig03_cpu_independent(benchmark):
+    result = run_once(benchmark, fig03_cpu_independent.run, iterations=20)
+    info = settings_of(result)
+    assert info["overall wait%"] > 50
+    # No shuffle -> almost no system time compared to Figure 2.
+    collective = fig02_cpu_collective.run(iterations=10)
+    assert info["overall sys%"] <= settings_of(collective)["overall sys%"]
+    finish(benchmark, result,
+           ["overall user%", "overall sys%", "overall wait%"])
+
+
+def test_fig09_ratio_speedup(benchmark):
+    result = run_once(benchmark, fig09_ratio_speedup.run, per_rank_mib=2.0)
+    info = settings_of(result)
+    speedups = result.column("speedup")
+    # Paper shape: rise then fall, peak at 1:1, every ratio above 1x,
+    # I/O-heavy side above computation-heavy side.
+    assert info["peak at ratio"] in ("1:1", "1:2")
+    assert all(s > 1.0 for s in speedups)
+    assert (info["avg speedup I/O>computation"]
+            > info["avg speedup computation>I/O"])
+    assert info["peak speedup"] > 1.6
+    finish(benchmark, result,
+           ["average speedup", "peak speedup", "peak at ratio",
+            "avg speedup computation>I/O", "avg speedup I/O>computation"])
+
+
+def test_fig10_scalability(benchmark):
+    result = run_once(benchmark, fig10_scalability.run, per_rank_mib=1.0,
+                      process_counts=(24, 48, 120, 240, 480))
+    speedups = result.column("speedup")
+    saved = result.column("time_saved_s")
+    assert all(s > 1.0 for s in speedups)
+    # Speedup and absolute savings grow from small to large scale.
+    assert max(speedups[2:]) > speedups[0]
+    assert saved[-1] > saved[0]
+    finish(benchmark, result,
+           ["speedup at smallest P", "speedup at largest P"])
+
+
+@pytest.mark.slow
+def test_fig10_scalability_full(benchmark):
+    """The paper's full 24..1024 sweep (several minutes of wall time)."""
+    result = run_once(benchmark, fig10_scalability.run, per_rank_mib=1.0)
+    speedups = result.column("speedup")
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[-1] > speedups[0]
+    finish(benchmark, result,
+           ["speedup at smallest P", "speedup at largest P"])
+
+
+def test_fig11_overhead(benchmark):
+    result = run_once(benchmark, fig11_overhead.run)
+    mpi = result.column("MPI-40G_us")
+    cc40 = result.column("CC-40G_us")
+    cc80 = result.column("CC-80G_us")
+    assert mpi[-1] < mpi[0]              # decreasing with processes
+    assert all(c <= m for c, m in zip(cc40, mpi))  # CC far below MPI
+    assert all(b >= a for a, b in zip(cc40, cc80))  # more data, more work
+    finish(benchmark, result, ["typical CC job time (s)"])
+
+
+def test_fig12_metadata(benchmark):
+    result = run_once(benchmark, fig12_metadata.run)
+    meta = result.column("metadata_KiB")
+    # Steep initial drop, then flat: the 8->24 MB gain is small next to
+    # the 1->8 MB gain (paper: optimum around 8-12 MB).
+    assert meta[0] > 2.0 * meta[2]
+    assert (meta[2] - meta[-1]) < 0.4 * (meta[0] - meta[2])
+    finish(benchmark, result, ["reduction factor"])
+
+
+def test_fig13_wrf_min_slp(benchmark):
+    result = run_once(benchmark, fig13_wrf.run)
+    info = settings_of(result)
+    speedups = result.column("speedup")
+    times = result.column("cc_s")
+    assert all(s > 1.2 for s in speedups)
+    assert times[-1] > times[0]  # grows with workload
+    assert 1.3 < info["average speedup"] < 1.8  # paper: 1.45x
+    finish(benchmark, result, ["average speedup"])
+
+
+def test_fig13_wrf_max_wind(benchmark):
+    """The paper's second task ("demonstrates similar results")."""
+    result = run_once(benchmark, fig13_wrf.run, task="max_wind",
+                      sizes=((50, 0.125), (200, 0.5)))
+    speedups = result.column("speedup")
+    assert all(s > 1.2 for s in speedups)
+    finish(benchmark, result, ["average speedup"])

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""WRF hurricane analysis (paper §IV-C): min sea-level pressure and max
+10 m wind with their locations.
+
+Generates a synthetic hurricane simulation output (two variables over a
+``(time, y, x)`` grid — a deepening, moving vortex), then runs the
+paper's two analysis tasks through ``object_get_vara`` and tracks the
+storm by analysing each quarter of the simulation separately.
+
+Run:  python examples/wrf_hurricane.py
+"""
+
+import numpy as np
+
+from repro import (CollectiveHints, DatasetSpec, Kernel, KiB, Machine,
+                   MAXLOC_OP, MINLOC_OP, hopper_like, locate, mpi_run)
+from repro.dataspace import Subarray, block_partition
+from repro.highlevel import NCFile, create_dataset
+from repro.workloads.wrf import HurricaneGrid
+
+NPROCS = 96
+NODES = 4
+GRID = HurricaneGrid(nt=192, ny=128, nx=128)
+
+
+def analyse(variable: str, op, gsub: Subarray):
+    """One collective-computing analysis over ``gsub``; returns the
+    ``(value, coords)`` of the extremum and the simulated time."""
+    kernel = Kernel()
+    machine = Machine(kernel, hopper_like(nodes=NODES, n_osts=40))
+    create_dataset(machine.fs, "wrfout.nc", GRID.variable_defs(),
+                   stripe_size=256 * KiB, stripe_count=40)
+    parts = block_partition(gsub, NPROCS, axis=0)
+    hints = CollectiveHints(cb_buffer_size=256 * KiB)
+
+    def main(ctx):
+        nc = NCFile.open(ctx, "wrfout.nc", hints=hints)
+        sub = parts[ctx.rank]
+        result = yield from nc.var(variable).object_get_vara(
+            sub.start, sub.count, op.with_cost(4.0))
+        return result.global_result
+
+    results = mpi_run(machine, NPROCS, main)
+    value, linear = results[0]
+    spec = DatasetSpec(GRID.shape, np.float64)
+    return value, locate(spec, (value, linear))[1], kernel.now
+
+
+def main():
+    whole = Subarray((0, 0, 0), GRID.shape)
+    slp, slp_at, t1 = analyse("PSFC", MINLOC_OP, whole)
+    wind, wind_at, t2 = analyse("WS10", MAXLOC_OP, whole)
+    print("Hurricane summary over the full simulation:")
+    print(f"  min sea-level pressure: {slp:8.2f} hPa at (t,y,x)={slp_at} "
+          f"[{t1 * 1e3:.1f} ms simulated]")
+    print(f"  max 10 m wind speed:    {wind:8.2f} kt  at (t,y,x)={wind_at} "
+          f"[{t2 * 1e3:.1f} ms simulated]")
+
+    # Verify against the analytic ground truth of the vortex.
+    v_true, lin_true = GRID.true_min_pressure(whole)
+    spec = DatasetSpec(GRID.shape, np.float64)
+    assert spec.coords_of(lin_true) == slp_at
+    print("  (matches the brute-force ground truth)")
+
+    print("\nStorm track (per quarter of the simulation):")
+    q = GRID.nt // 4
+    for k in range(4):
+        quarter = Subarray((k * q, 0, 0), (q, GRID.ny, GRID.nx))
+        slp, at, _ = analyse("PSFC", MINLOC_OP, quarter)
+        print(f"  t in [{k * q:3d}, {(k + 1) * q:3d}): centre ~(y={at[1]:3d},"
+              f" x={at[2]:3d}), min SLP {slp:7.2f} hPa")
+
+
+if __name__ == "__main__":
+    main()

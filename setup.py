@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no network access and no ``wheel`` package, so PEP 660
+editable installs fail; ``python setup.py develop`` (or ``pip install -e .
+--no-build-isolation`` where wheel is available) uses this shim instead.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

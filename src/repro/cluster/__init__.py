@@ -1,0 +1,8 @@
+"""Cluster model: nodes, mesh interconnect, and the assembled machine."""
+
+from .machine import Machine
+from .network import Network
+from .node import Node
+from .topology import MeshTopology
+
+__all__ = ["Machine", "Network", "Node", "MeshTopology"]

@@ -1,0 +1,43 @@
+"""Collective computing — the paper's contribution.
+
+Computation (a map/reduce operator) is packaged with the I/O region
+into an :class:`ObjectIO` and executed *inside* the two-phase collective
+I/O pipeline: aggregators map each collective-buffer window right after
+reading it and shuffle only small partial results.
+"""
+
+from .api import (local_read_compute, locate, object_get,
+                  traditional_read_compute)
+from .fault import cc_read_compute_ft, degrade_plan
+from .iterative import (IterativeAnalysis, IterativeStats, shift_plan,
+                        sliding_windows, translation_delta)
+from .map_engine import linear_indices_of_runs, map_pieces
+from .metadata import CCStats, PartialResult
+from .object_io import MODES, REDUCE_MODES, ObjectIO
+from .ops import (COUNT_OP, MAX_OP, MAXLOC_OP, MEAN_OP, MIN_OP, MINLOC_OP,
+                  MOMENTS_OP, SUM_OP, CountOp, HistogramOp, MapReduceOp,
+                  MaxLocOp, MaxOp, MeanOp, MinLocOp, MinOp, MomentsOp, SumOp,
+                  UserOp, op_by_name)
+from .reduction import (BLOCK_PARSE_COST, COMBINE_ELEMENT_COST,
+                        combine_partials,
+                        construct_per_rank, global_reduce, make_reduce_op)
+from .runtime import CCResult, cc_read_compute
+
+__all__ = [
+    "local_read_compute", "locate", "object_get",
+    "traditional_read_compute",
+    "linear_indices_of_runs", "map_pieces",
+    "CCStats", "PartialResult",
+    "MODES", "REDUCE_MODES", "ObjectIO",
+    "COUNT_OP", "MAX_OP", "MAXLOC_OP", "MEAN_OP", "MIN_OP", "MINLOC_OP",
+    "MOMENTS_OP", "SUM_OP",
+    "CountOp", "HistogramOp", "MapReduceOp", "MaxLocOp", "MaxOp", "MeanOp",
+    "MinLocOp", "MinOp", "MomentsOp", "SumOp", "UserOp", "op_by_name",
+    "BLOCK_PARSE_COST", "COMBINE_ELEMENT_COST", "combine_partials",
+    "construct_per_rank",
+    "global_reduce", "make_reduce_op",
+    "CCResult", "cc_read_compute",
+    "cc_read_compute_ft", "degrade_plan",
+    "IterativeAnalysis", "IterativeStats", "shift_plan",
+    "sliding_windows", "translation_delta",
+]

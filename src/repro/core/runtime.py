@@ -1,0 +1,313 @@
+"""The collective-computing runtime (paper §III and Figure 7).
+
+This is the modified two-phase pipeline: each aggregator iteration
+
+1. reads its collective-buffer window (next read posted before the
+   shuffle — the finer-grained nonblocking design of Figure 7),
+2. **maps** every rank's pieces of the window on logical subsets
+   (computation happens *inside* the I/O, on the data just read),
+3. shuffles only the small partial results (+ logical metadata),
+
+after which the analysis stage collapses to combining partials
+(§III-C): local reduces on each rank (all-to-all mode) or construction
+on the root (all-to-one mode), then a final tree reduce.
+
+The raw data never travels: compared to
+:func:`repro.io.twophase.collective_read`, the shuffle volume drops
+from the full request size to ``stats.shuffle_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..dataspace import merge_runlists
+from ..errors import CollectiveComputingError
+from ..io import AccessRequest
+from ..io.twophase import TwoPhasePlan, make_plan
+from ..mpi import RankContext
+from ..pfs import PFSFile
+from ..profiling import PhaseTimeline
+from .map_engine import map_pieces
+from .metadata import CCStats, PartialResult
+from .object_io import ObjectIO
+from .reduction import (BLOCK_PARSE_COST, COMBINE_ELEMENT_COST,
+                        combine_partials,
+                        construct_per_rank, global_reduce)
+
+
+@dataclass
+class CCResult:
+    """What a collective-computing call returns on each rank.
+
+    Attributes
+    ----------
+    local:
+        The finalized result over *this rank's* region (all-to-all mode;
+        ``None`` for empty regions and in all-to-one mode on non-roots).
+    global_result:
+        The finalized result over the union of all regions; present on
+        the root rank only.
+    per_rank:
+        All-to-one mode, root only: finalized per-rank results.
+    stats:
+        The shared :class:`CCStats` accumulator for the run.
+    """
+
+    local: Any = None
+    global_result: Any = None
+    per_rank: Optional[Dict[int, Any]] = None
+    stats: Optional[CCStats] = None
+
+
+def _cc_aggregator_loop(ctx: RankContext, file: PFSFile, oio: ObjectIO,
+                        plan: TwoPhasePlan, agg_idx: int, base_tag: int,
+                        timeline: Optional[PhaseTimeline],
+                        stats: Optional[CCStats]) -> Generator:
+    """Aggregator side: read window -> map pieces -> shuffle partials."""
+    my_windows = plan.windows[agg_idx]
+    global_runs = merge_runlists(plan.all_runs)
+    kernel = ctx.kernel
+    hints = oio.hints
+    op = oio.op
+
+    def issue_read(window):
+        w_lo, w_hi = window
+        needed = global_runs.clip(w_lo, w_hi)
+        r_lo, r_hi = needed.extent()
+        return r_lo, kernel.process(
+            ctx.fs.read(file, r_lo, r_hi - r_lo, client=ctx.node.index),
+            name=f"ccread:r{ctx.rank}@{r_lo}",
+        )
+
+    def map_and_shuffle(t: int, w_lo: int, w_hi: int, read_lo: int,
+                        window_data: np.ndarray) -> "Generator":
+        """Worker thread (paper Fig. 7): map the window on its logical
+        subsets, then shuffle the partial results.  Runs concurrently
+        with the I/O thread's next read; the node's core resource
+        arbitrates compute between overlapping windows."""
+        t_map = kernel.now
+        partials: List[PartialResult] = []
+        total_elements = 0
+        for r in range(ctx.size):
+            pieces = plan.all_runs[r].clip(w_lo, w_hi)
+            partial, elements = map_pieces(oio.spec, op, window_data,
+                                           read_lo, pieces, r, t)
+            if partial is not None:
+                partials.append(partial)
+                total_elements += elements
+                if stats is not None:
+                    stats.add_partial(partial)
+        # Worker threads on the node's idle cores preserve the job's
+        # compute parallelism even with one aggregator rank per node.
+        yield from ctx.compute_parallel(total_elements, op.ops_per_element)
+        if stats is not None:
+            stats.map_elements += total_elements
+            stats.map_time += kernel.now - t_map
+        if timeline is not None:
+            timeline.record(ctx.rank, t, "map", t_map, kernel.now)
+        t_sh = kernel.now
+        sends = []
+        if oio.reduce_mode == "all_to_all":
+            # The runtime coalesces partials per destination *node* and
+            # lets the node's leader redistribute over shared memory —
+            # partials are tiny, so one batch per node keeps the shuffle
+            # off the per-message latency wall at scale.  (ROMIO's raw
+            # shuffle sends per-process messages; it moves whole pieces,
+            # so batching would not shrink its bytes.)
+            by_node: Dict[int, List[PartialResult]] = {}
+            for partial in partials:
+                node = ctx.comm.comm.node_of(partial.dest_rank)
+                by_node.setdefault(node, []).append(partial)
+            for node, batch in by_node.items():
+                leader = ctx.machine.ranks_on_node(node, ctx.size)[0]
+                sends.append(ctx.comm.isend(batch, leader, base_tag + t))
+        else:  # all_to_one: one message with every partial of the window
+            sends.append(ctx.comm.isend(partials, oio.root, base_tag + t))
+        for req in sends:
+            yield from ctx.wait_recording(req.event, "wait")
+        if timeline is not None:
+            timeline.record(ctx.rank, t, "shuffle", t_sh, kernel.now)
+        return None
+
+    workers = []
+    pending = issue_read(my_windows[0]) if my_windows else None
+    for t, (w_lo, w_hi) in enumerate(my_windows):
+        read_lo, read_proc = pending
+        t0 = kernel.now
+        data = yield from ctx.wait_recording(read_proc, "wait")
+        if timeline is not None:
+            timeline.record(ctx.rank, t, "read", t0, kernel.now)
+        window_data = np.frombuffer(data, dtype=np.uint8)
+        worker = kernel.process(
+            map_and_shuffle(t, w_lo, w_hi, read_lo, window_data),
+            name=f"ccmap:r{ctx.rank}.{t}",
+        )
+        if hints.pipeline:
+            # I/O thread streams ahead; map/shuffle catch up concurrently.
+            workers.append(worker)
+            if t + 1 < len(my_windows):
+                pending = issue_read(my_windows[t + 1])
+        else:
+            # Blocking variant: finish this window before the next read.
+            yield worker
+            if t + 1 < len(my_windows):
+                pending = issue_read(my_windows[t + 1])
+    if workers:
+        yield kernel.all_of(workers)
+    return None
+
+
+def _cc_receiver_all_to_all(ctx: RankContext, oio: ObjectIO,
+                            plan: TwoPhasePlan, base_tag: int,
+                            stats: Optional[CCStats]) -> Generator:
+    """All-to-all mode: collect my partials, reduce them locally.
+
+    Partials arrive as per-node batches at each node's *leader* (its
+    first rank), which forwards its node-mates' partials over shared
+    memory.  The schedule is derived deterministically on every rank
+    from the plan, exactly like the raw two-phase receiver schedule.
+    """
+    nprocs = ctx.size
+    my_node = ctx.node.index
+    node_ranks = ctx.machine.ranks_on_node(my_node, nprocs)
+    leader = node_ranks[0]
+    is_leader = ctx.rank == leader
+
+    def ranks_with_data(window) -> List[int]:
+        w_lo, w_hi = window
+        return [r for r in node_ranks if len(plan.all_runs[r].clip(w_lo, w_hi))]
+
+    received: List[PartialResult] = []
+    if is_leader:
+        # (iteration, aggregator) pairs whose window holds data for any
+        # rank of this node -> one inbound batch each.
+        forwards: List = []
+        for i, agg_rank in enumerate(plan.aggregators):
+            for t, window in enumerate(plan.windows[i]):
+                locals_with_data = ranks_with_data(window)
+                if not locals_with_data:
+                    continue
+                req = ctx.comm.irecv(agg_rank, base_tag + t)
+                msg = yield from ctx.wait_recording(req.event, "wait")
+                for partial in msg.data:
+                    if partial.dest_rank == ctx.rank:
+                        received.append(partial)
+                    else:
+                        forwards.append(ctx.comm.isend(
+                            partial, partial.dest_rank, base_tag + t))
+        for req in forwards:
+            yield from ctx.wait_recording(req.event, "wait")
+    else:
+        my_runs = plan.all_runs[ctx.rank]
+        expected: Dict[int, int] = {}
+        for i in range(len(plan.aggregators)):
+            for t, (w_lo, w_hi) in enumerate(plan.windows[i]):
+                if len(my_runs.clip(w_lo, w_hi)):
+                    expected[t] = expected.get(t, 0) + 1
+        for t in sorted(expected):
+            for _ in range(expected[t]):
+                req = ctx.comm.irecv(leader, base_tag + t)
+                msg = yield from ctx.wait_recording(req.event, "wait")
+                received.append(msg.data)
+    payload = yield from combine_partials(ctx, oio.op, received, stats)
+    return payload
+
+
+def _cc_receiver_all_to_one(ctx: RankContext, oio: ObjectIO,
+                            plan: TwoPhasePlan, base_tag: int,
+                            stats: Optional[CCStats]) -> Generator:
+    """All-to-one mode, root side: collect every window's partial batch
+    and construct per-rank results."""
+    received: List[PartialResult] = []
+    n_batches = 0
+    for i, agg_rank in enumerate(plan.aggregators):
+        for t in range(len(plan.windows[i])):
+            req = ctx.comm.irecv(agg_rank, base_tag + t)
+            msg = yield from ctx.wait_recording(req.event, "wait")
+            received.extend(msg.data)
+            n_batches += 1
+    t0 = ctx.kernel.now
+    blocks = sum(len(p.blocks) for p in received)
+    cost_units = (max(len(received), 1) * COMBINE_ELEMENT_COST
+                  + blocks * BLOCK_PARSE_COST)
+    yield from ctx.compute(cost_units, 1.0)
+    per_rank = construct_per_rank(oio.op, received)
+    if stats is not None:
+        stats.local_reduction_time += ctx.kernel.now - t0
+    return per_rank
+
+
+def cc_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
+                    timeline: Optional[PhaseTimeline] = None,
+                    stats: Optional[CCStats] = None,
+                    plan: Optional[TwoPhasePlan] = None) -> Generator:
+    """Run one collective-computing read+compute (collective call).
+
+    Returns a :class:`CCResult`; numerically, ``global_result`` on the
+    root equals what the traditional path (read everything, compute,
+    MPI_Reduce) produces for the same :class:`~repro.core.ObjectIO`.
+
+    ``plan`` short-circuits the offset exchange with a pre-computed
+    schedule (used by :mod:`repro.core.iterative`'s plan caching); the
+    caller is responsible for its consistency across ranks.
+    """
+    if oio.block:
+        raise CollectiveComputingError(
+            "cc_read_compute got block=True; use the traditional path "
+            "(repro.core.api.object_get dispatches automatically)"
+        )
+    if plan is None:
+        request = AccessRequest.from_subarray(oio.spec, oio.sub)
+        # Align the schedule to whole elements so the map never sees a
+        # split value (byte-level two-phase I/O has no such constraint).
+        grid = (oio.spec.file_offset, oio.spec.itemsize)
+        plan = yield from make_plan(ctx, request.runs, file, oio.hints,
+                                    grid)
+    ntimes = plan.ntimes
+    base_tag = ctx.comm.next_collective_tags(max(ntimes, 1))
+    agg_idx = plan.aggregator_index(ctx.rank)
+
+    procs = []
+    if agg_idx is not None and plan.windows[agg_idx]:
+        procs.append(ctx.kernel.process(
+            _cc_aggregator_loop(ctx, file, oio, plan, agg_idx, base_tag,
+                                timeline, stats),
+            name=f"ccagg:r{ctx.rank}",
+        ))
+    result = CCResult(stats=stats)
+    if oio.reduce_mode == "all_to_all":
+        recv_proc = ctx.kernel.process(
+            _cc_receiver_all_to_all(ctx, oio, plan, base_tag, stats),
+            name=f"ccrecv:r{ctx.rank}",
+        )
+        procs.append(recv_proc)
+        yield ctx.kernel.all_of(procs)
+        payload = recv_proc.value
+        result.local = None if payload is None else oio.op.finalize(payload)
+        result.global_result = yield from global_reduce(
+            ctx, oio.op, payload, oio.root, stats)
+    else:  # all_to_one
+        if ctx.rank == oio.root:
+            recv_proc = ctx.kernel.process(
+                _cc_receiver_all_to_one(ctx, oio, plan, base_tag, stats),
+                name=f"ccroot:r{ctx.rank}",
+            )
+            procs.append(recv_proc)
+            yield ctx.kernel.all_of(procs)
+            per_rank_payloads = recv_proc.value
+            result.per_rank = {
+                r: oio.op.finalize(p) for r, p in sorted(per_rank_payloads.items())
+            }
+            if per_rank_payloads:
+                result.global_result = oio.op.finalize(
+                    oio.op.combine_many(per_rank_payloads.values()))
+            my_payload = per_rank_payloads.get(ctx.rank)
+            result.local = (None if my_payload is None
+                            else oio.op.finalize(my_payload))
+        elif procs:
+            yield ctx.kernel.all_of(procs)
+    return result

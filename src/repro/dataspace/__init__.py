@@ -1,0 +1,16 @@
+"""Logical N-D data model: datasets, hyperslabs, flattening, logical map."""
+
+from .dataset import DatasetSpec
+from .decompose import block_partition, grid_partition, partition_covers
+from .flatten import RunList, flatten_subarray, merge_runlists
+from .logical_map import (LogicalBlock, blocks_of_linear_range,
+                          blocks_total_elements, reconstruct_run)
+from .subarray import Subarray, full_selection
+
+__all__ = [
+    "DatasetSpec", "Subarray", "full_selection",
+    "RunList", "flatten_subarray", "merge_runlists",
+    "LogicalBlock", "blocks_of_linear_range", "blocks_total_elements",
+    "reconstruct_run",
+    "block_partition", "grid_partition", "partition_covers",
+]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures distinctly from
+programming errors.  Sub-hierarchies mirror the package layout: simulation
+kernel, MPI semantics, file system, and the collective-computing runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event kernel (e.g. re-triggering
+    an already-triggered event, or running a finished simulation)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still
+    waiting — the simulated program can never make progress."""
+
+
+class MPIError(ReproError):
+    """Raised for violations of MPI call semantics (bad rank, mismatched
+    collective participation, truncated receive, invalid datatype...)."""
+
+
+class IOLayerError(ReproError):
+    """Raised by the MPI-IO layer for invalid access requests or file
+    handle misuse."""
+
+
+class PFSError(ReproError):
+    """Raised by the parallel-file-system model (unknown file, read past
+    end of file, invalid striping configuration)."""
+
+
+class DataspaceError(ReproError):
+    """Raised for invalid logical data-space descriptions (negative
+    extents, out-of-bounds subarrays, dtype mismatches)."""
+
+
+class CollectiveComputingError(ReproError):
+    """Raised by the collective-computing runtime (unknown operator,
+    inconsistent ObjectIO across ranks, reduction shape mismatch)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid platform / cost-model configuration values."""

@@ -1,0 +1,11 @@
+"""Paper experiments: one module per table/figure, plus the registry."""
+
+from .common import (DEFAULT_HINTS, PAPER_COST, ExperimentResult, RunOutcome,
+                     hopper_platform, measure_io_time, run_objectio_job)
+from .registry import EXPERIMENTS, names, run
+
+__all__ = [
+    "DEFAULT_HINTS", "PAPER_COST", "ExperimentResult", "RunOutcome",
+    "hopper_platform", "measure_io_time", "run_objectio_job",
+    "EXPERIMENTS", "names", "run",
+]

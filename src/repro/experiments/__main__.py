@@ -1,0 +1,62 @@
+"""CLI: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments fig9       # run one
+    python -m repro.experiments all        # run everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import registry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures "
+                    "(scaled; see EXPERIMENTS.md)",
+    )
+    parser.add_argument("experiment", nargs="?", default=None,
+                        help="experiment id (e.g. fig9) or 'all'")
+    parser.add_argument("--plot", action="store_true",
+                        help="render an ASCII approximation of the figure")
+    parser.add_argument("--csv", action="store_true",
+                        help="print the result rows as CSV instead")
+    parser.add_argument("--outdir", default=None, metavar="DIR",
+                        help="also write <id>.txt and <id>.csv per "
+                             "experiment into DIR")
+    args = parser.parse_args(argv)
+    if args.experiment is None:
+        print("Available experiments:")
+        for name in registry.names():
+            print(f"  {name}")
+        return 0
+    targets = registry.names() if args.experiment == "all" else [args.experiment]
+    outdir = None
+    if args.outdir:
+        import pathlib
+        outdir = pathlib.Path(args.outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+    for name in targets:
+        t0 = time.time()
+        result = registry.run(name)
+        if args.csv:
+            print(result.to_csv())
+        else:
+            print(result.render(plot=args.plot))
+        if outdir is not None:
+            (outdir / f"{name}.txt").write_text(
+                result.render(plot=True) + "\n")
+            (outdir / f"{name}.csv").write_text(result.to_csv() + "\n")
+        print(f"\n[{name} regenerated in {time.time() - t0:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

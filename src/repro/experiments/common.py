@@ -1,0 +1,214 @@
+"""Shared machinery for the paper-reproduction experiments.
+
+Each ``figNN_*.py`` module builds scenarios from these helpers and
+returns an :class:`ExperimentResult` whose rows mirror the series the
+paper plots.  ``PAPER_COST`` is the cost model calibrated so the
+baseline two-phase read shows the paper's headline balance (per-
+iteration shuffle comparable to read; ~15-20% total shuffle overhead on
+the Figure-1 workload) — see EXPERIMENTS.md for the calibration notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster import Machine
+from ..config import CostModel, MiB, PlatformSpec
+from ..core import CCStats, MapReduceOp, ObjectIO, object_get
+from ..errors import ConfigError
+from ..io import CollectiveHints
+from ..mpi import mpi_run
+from ..pfs import PFSFile
+from ..profiling import (CpuProfiler, PhaseTimeline, format_bar_chart,
+                         format_kv, format_table)
+from ..sim import Kernel
+from ..workloads.climate import Workload, climate_field
+
+#: Cost model calibrated against the paper's testbed balance.
+PAPER_COST = CostModel(
+    link_bandwidth=1.35e9,
+    net_latency=2.2e-5,
+    memcpy_bandwidth=4.0e9,
+    ost_seek=5.0e-4,
+)
+
+#: Collective-buffer hints used unless an experiment overrides them
+#: (4 MiB is the MPICH default the paper quotes).
+DEFAULT_HINTS = CollectiveHints(cb_buffer_size=4 * MiB,
+                                aggregators_per_node=1)
+
+
+def hopper_platform(nodes: int, *, cores_per_node: int = 24,
+                    n_osts: int = 40, cost: Optional[CostModel] = None
+                    ) -> PlatformSpec:
+    """The evaluation platform: Hopper-like nodes over ``n_osts`` OSTs
+    (the paper's climate file is striped over 40 OSTs)."""
+    return PlatformSpec(
+        nodes=nodes, cores_per_node=cores_per_node, torus=True,
+        n_osts=n_osts, default_stripe_size=4 * MiB,
+        cost=cost or PAPER_COST,
+    )
+
+
+@dataclass
+class RunOutcome:
+    """Everything measured from one simulated job."""
+
+    #: Simulated wall time of the whole job (seconds).
+    time: float
+    #: Per-rank return values.
+    results: List[Any]
+    #: The CC statistics accumulator (shared across ranks).
+    stats: CCStats
+    #: The phase timeline, if recording was requested.
+    timeline: Optional[PhaseTimeline]
+    #: CPU profiler, if requested.
+    profiler: Optional[CpuProfiler]
+    #: Total payload bytes sent through MPI messages.
+    mpi_bytes: int
+    #: Total MPI messages.
+    mpi_messages: int
+    #: Bytes served by the file system.
+    fs_bytes: int
+
+    @property
+    def global_result(self) -> Any:
+        """The root rank's global result (CCResult runs)."""
+        r0 = self.results[0]
+        return getattr(r0, "global_result", r0)
+
+
+def run_objectio_job(platform: PlatformSpec, workload: Workload,
+                     op: MapReduceOp, *, block: bool,
+                     reduce_mode: str = "all_to_all",
+                     hints: CollectiveHints = DEFAULT_HINTS,
+                     stripe_size: int = 1 * MiB,
+                     stripe_count: Optional[int] = None,
+                     field_func: Callable = climate_field,
+                     record_timeline: bool = False,
+                     record_cpu: bool = False,
+                     mode: str = "collective") -> RunOutcome:
+    """Build a fresh machine + file and run one analysis job on it.
+
+    ``block=True`` gives the traditional-MPI baseline; ``block=False``
+    the collective-computing pipeline.  Every run uses its own kernel,
+    so outcomes are independent and deterministic.
+    """
+    kernel = Kernel()
+    machine = Machine(kernel, platform)
+    nprocs = workload.nprocs
+    machine.validate_job(nprocs)
+    file = machine.fs.create_procedural_file(
+        "dataset.nc", workload.dspec.n_elements, dtype=workload.dspec.dtype,
+        func=field_func, stripe_size=stripe_size,
+        stripe_count=stripe_count if stripe_count is not None else -1,
+    )
+    timeline = PhaseTimeline() if record_timeline else None
+    profiler = CpuProfiler(nprocs) if record_cpu else None
+    stats = CCStats()
+
+    def main(ctx) -> Generator:
+        oio = ObjectIO(workload.dspec, workload.parts[ctx.rank], op,
+                       mode=mode, block=block, reduce_mode=reduce_mode,
+                       hints=hints)
+        result = yield from object_get(ctx, file, oio, timeline, stats)
+        return result
+
+    results = mpi_run(machine, nprocs, main, profiler=profiler)
+    return RunOutcome(
+        time=kernel.now, results=results, stats=stats, timeline=timeline,
+        profiler=profiler,
+        mpi_bytes=_world_bytes(machine),
+        mpi_messages=_world_messages(machine),
+        fs_bytes=machine.fs.total_bytes_served(),
+    )
+
+
+def _world_bytes(machine: Machine) -> int:
+    return machine.network.inter_node_bytes + machine.network.intra_node_bytes
+
+
+def _world_messages(machine: Machine) -> int:
+    return len(machine.network.traffic)
+
+
+def measure_io_time(platform: PlatformSpec, workload: Workload, *,
+                    hints: CollectiveHints = DEFAULT_HINTS,
+                    stripe_size: int = 1 * MiB,
+                    stripe_count: Optional[int] = None,
+                    with_shuffle: bool = False) -> float:
+    """The ``I/O`` denominator of the paper's ratios.
+
+    By default this is the *data-ingestion* time: a collective-computing
+    run with negligible compute, i.e. the read pipeline without the raw
+    shuffle.  ``with_shuffle=True`` instead times the full traditional
+    two-phase read (read + shuffle).
+    """
+    from ..core import SUM_OP
+    out = run_objectio_job(platform, workload, SUM_OP.with_cost(1e-9),
+                           block=with_shuffle, hints=hints,
+                           stripe_size=stripe_size,
+                           stripe_count=stripe_count)
+    return out.time
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: id, settings, table rows, notes.
+
+    ``plot_spec`` optionally names the x column and y columns the
+    figure plots; :meth:`plot` then renders the ASCII approximation.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Sequence[Any]]
+    settings: List[Tuple[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    paper_expectation: str = ""
+    plot_spec: Optional[Tuple[str, Tuple[str, ...]]] = None
+
+    def render(self, plot: bool = False) -> str:
+        """Full text report for this experiment."""
+        parts = [format_table(self.headers, self.rows,
+                              title=f"{self.experiment_id}: {self.title}")]
+        if plot:
+            chart = self.plot()
+            if chart:
+                parts.append(chart)
+        if self.settings:
+            parts.append(format_kv(self.settings, title="Settings"))
+        if self.paper_expectation:
+            parts.append(f"Paper expectation: {self.paper_expectation}")
+        for n in self.notes:
+            parts.append(f"Note: {n}")
+        return "\n\n".join(parts)
+
+    def column(self, name: str) -> List[Any]:
+        """Values of the column called ``name``."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def plot(self) -> Optional[str]:
+        """ASCII line plot of the figure's series (None for tables)."""
+        if self.plot_spec is None:
+            return None
+        from ..profiling import plot_columns
+        x, ys = self.plot_spec
+        return plot_columns(self.headers, self.rows, x, list(ys),
+                            title=f"{self.experiment_id} (ASCII approximation)")
+
+    def to_csv(self) -> str:
+        """The result rows as CSV (header line + one line per row)."""
+        def cell(v: Any) -> str:
+            s = str(v)
+            if any(ch in s for ch in ",\"\n"):
+                s = '"' + s.replace('"', '""') + '"'
+            return s
+        lines = [",".join(cell(h) for h in self.headers)]
+        lines.extend(",".join(cell(v) for v in row) for row in self.rows)
+        return "\n".join(lines)

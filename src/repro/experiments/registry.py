@@ -1,0 +1,43 @@
+"""Experiment registry: id → runner.
+
+``python -m repro.experiments <id>`` regenerates one paper table or
+figure; ``all`` runs everything in order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import (fig01_io_profile, fig02_cpu_collective, fig03_cpu_independent,
+               fig09_ratio_speedup, fig10_scalability, fig11_overhead,
+               fig12_metadata, fig13_wrf, table1_incite)
+from .common import ExperimentResult
+
+#: All experiments, in paper order.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1_incite.run,
+    "fig1": fig01_io_profile.run,
+    "fig2": fig02_cpu_collective.run,
+    "fig3": fig03_cpu_independent.run,
+    "fig9": fig09_ratio_speedup.run,
+    "fig10": fig10_scalability.run,
+    "fig11": fig11_overhead.run,
+    "fig12": fig12_metadata.run,
+    "fig13": fig13_wrf.run,
+}
+
+
+def names() -> List[str]:
+    """Experiment ids in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run(name: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

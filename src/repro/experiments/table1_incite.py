@@ -1,0 +1,33 @@
+"""Table I — data requirements of representative INCITE applications."""
+
+from __future__ import annotations
+
+from ..workloads import incite
+from .common import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Regenerate the paper's Table I."""
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Data Requirements of Representative INCITE Applications at ALCF",
+        headers=["Project", "On-Line Data", "Off-Line Data"],
+        rows=incite.rows(),
+        settings=[
+            ("projects", len(incite.PROJECTS)),
+            ("total on-line (TB)", incite.total_online_tb()),
+            ("total off-line (TB)", incite.total_offline_tb()),
+        ],
+        paper_expectation=(
+            "on-line volumes exceed TBs (FLASH 75TB); off-line data "
+            "approaches PB scale (sum over projects ~0.8PB)"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,6 @@
+"""High-level, PnetCDF-flavoured access API (paper Figures 5-6)."""
+
+from .pnetcdf import HEADER_BYTES, NCFile, Variable, VariableDef, create_dataset
+
+__all__ = ["HEADER_BYTES", "NCFile", "Variable", "VariableDef",
+           "create_dataset"]

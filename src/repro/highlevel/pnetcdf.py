@@ -1,0 +1,215 @@
+"""PnetCDF-flavoured high-level API.
+
+The paper's example code (Figures 5-6) is written against PnetCDF:
+``ncmpi_get_vara_float_all`` for the traditional path and the proposed
+``ncmpi_object_get_vara_float(io, op)`` for object I/O.  This module
+provides the same surface on top of the library:
+
+* :func:`create_dataset` — define-mode: lay out variables in a file on
+  the machine's parallel file system (run once, before the MPI job).
+* :class:`NCFile` / :class:`Variable` — per-rank access handles with
+  ``get_vara_all`` (collective read), ``get_vara`` (independent read),
+  ``put_vara_all`` (collective write) and ``object_get_vara``
+  (collective computing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import CCStats, MapReduceOp, ObjectIO, object_get
+from ..core.runtime import CCResult
+from ..dataspace import DatasetSpec, Subarray
+from ..errors import DataspaceError
+from ..io import AccessRequest, CollectiveHints, collective_read, \
+    collective_write, independent_read
+from ..mpi import RankContext
+from ..pfs import (ArraySource, CompositeSource, DataSource, LustreFS,
+                   PFSFile, ProceduralSource)
+from ..profiling import PhaseTimeline
+
+#: Bytes reserved at the start of a dataset file for the (simulated)
+#: self-describing header.
+HEADER_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class VariableDef:
+    """Define-mode description of one variable.
+
+    Parameters
+    ----------
+    name:
+        Variable name.
+    shape:
+        Extent per dimension, slowest first (C order).
+    dtype:
+        Element type.
+    func:
+        Optional vectorized generator ``f(linear_indices) -> values``
+        for procedurally-backed variables; ``data`` for array-backed.
+    data:
+        Optional concrete array (must match ``shape``); writable.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: object = np.float64
+    func: object = None
+    data: Optional[np.ndarray] = None
+
+
+def create_dataset(fs: LustreFS, filename: str,
+                   variables: Sequence[VariableDef], *,
+                   stripe_size: Optional[int] = None,
+                   stripe_count: Optional[int] = None,
+                   start_ost: int = 0) -> PFSFile:
+    """Define-mode: create ``filename`` holding ``variables`` laid out
+    sequentially after a header block.  Returns the PFS file; per-rank
+    handles are obtained with :meth:`NCFile.open`."""
+    # The header block is a writable array so files that mix array-backed
+    # (writable) variables stay writable end to end.
+    parts: List[DataSource] = [ArraySource(np.zeros(HEADER_BYTES, np.uint8))]
+    specs: Dict[str, DatasetSpec] = {}
+    offset = HEADER_BYTES
+    for v in variables:
+        dtype = np.dtype(v.dtype)
+        n_elements = int(np.prod(v.shape, dtype=np.int64))
+        if v.data is not None:
+            arr = np.asarray(v.data, dtype=dtype)
+            if arr.shape != tuple(v.shape):
+                raise DataspaceError(
+                    f"variable {v.name!r}: data shape {arr.shape} != {v.shape}"
+                )
+            src: DataSource = ArraySource(arr)
+        else:
+            src = ProceduralSource(n_elements, dtype=dtype, func=v.func)
+        parts.append(src)
+        specs[v.name] = DatasetSpec(tuple(v.shape), dtype,
+                                    file_offset=offset, name=v.name)
+        offset += src.size
+    file = fs.create_file(filename, CompositeSource(parts),
+                          stripe_size=stripe_size,
+                          stripe_count=stripe_count, start_ost=start_ost)
+    # Attach the schema so per-rank handles can recover it.
+    file.schema = dict(specs)  # type: ignore[attr-defined]
+    return file
+
+
+class Variable:
+    """One rank's handle on one variable of an open dataset file."""
+
+    def __init__(self, ncfile: "NCFile", spec: DatasetSpec) -> None:
+        self.ncfile = ncfile
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        """Variable name."""
+        return self.spec.name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Variable shape (C order)."""
+        return self.spec.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype."""
+        return self.spec.dtype
+
+    def _request(self, start: Sequence[int], count: Sequence[int]
+                 ) -> AccessRequest:
+        sub = Subarray(tuple(start), tuple(count))
+        sub.validate(self.spec)
+        return AccessRequest.from_subarray(self.spec, sub)
+
+    # -- reads ----------------------------------------------------------
+    def get_vara_all(self, start: Sequence[int], count: Sequence[int],
+                     timeline: Optional[PhaseTimeline] = None) -> Generator:
+        """Collective hyperslab read (``ncmpi_get_vara_*_all``).
+
+        Returns the data shaped ``count``.
+        """
+        req = self._request(start, count)
+        buf = yield from collective_read(self.ncfile.ctx, self.ncfile.file,
+                                         req, self.ncfile.hints, timeline)
+        return req.as_array(buf)
+
+    def get_vara(self, start: Sequence[int], count: Sequence[int]
+                 ) -> Generator:
+        """Independent hyperslab read (``ncmpi_get_vara_*``)."""
+        req = self._request(start, count)
+        buf = yield from independent_read(self.ncfile.ctx, self.ncfile.file,
+                                          req)
+        return req.as_array(buf)
+
+    def put_vara_all(self, start: Sequence[int], count: Sequence[int],
+                     data: np.ndarray,
+                     timeline: Optional[PhaseTimeline] = None) -> Generator:
+        """Collective hyperslab write (``ncmpi_put_vara_*_all``)."""
+        req = self._request(start, count)
+        arr = np.ascontiguousarray(data, dtype=self.spec.dtype)
+        yield from collective_write(self.ncfile.ctx, self.ncfile.file, req,
+                                    arr, self.ncfile.hints, timeline)
+        return None
+
+    # -- collective computing ----------------------------------------------
+    def object_get_vara(self, start: Sequence[int], count: Sequence[int],
+                        op: MapReduceOp, *, block: bool = False,
+                        mode: str = "collective",
+                        reduce_mode: str = "all_to_all", root: int = 0,
+                        timeline: Optional[PhaseTimeline] = None,
+                        stats: Optional[CCStats] = None) -> Generator:
+        """The paper's ``ncmpi_object_get_vara``: analysis-in-I/O.
+
+        Builds the :class:`~repro.core.ObjectIO` from this variable and
+        the rank's hyperslab, then dispatches (``block=True`` falls back
+        to the traditional path).  Returns a
+        :class:`~repro.core.runtime.CCResult`.
+        """
+        sub = Subarray(tuple(start), tuple(count))
+        oio = ObjectIO(self.spec, sub, op, mode=mode, block=block,
+                       reduce_mode=reduce_mode, root=root,
+                       hints=self.ncfile.hints)
+        result: CCResult = yield from object_get(
+            self.ncfile.ctx, self.ncfile.file, oio, timeline, stats)
+        return result
+
+
+class NCFile:
+    """One rank's handle on a dataset file created by
+    :func:`create_dataset`."""
+
+    def __init__(self, ctx: RankContext, file: PFSFile,
+                 hints: Optional[CollectiveHints] = None) -> None:
+        if not hasattr(file, "schema"):
+            raise DataspaceError(
+                f"{file.name!r} was not created by create_dataset"
+            )
+        self.ctx = ctx
+        self.file = file
+        self.hints = hints or CollectiveHints()
+
+    @classmethod
+    def open(cls, ctx: RankContext, filename: str,
+             hints: Optional[CollectiveHints] = None) -> "NCFile":
+        """Open a dataset file by name on the rank's file system."""
+        return cls(ctx, ctx.fs.lookup(filename), hints=hints)
+
+    def variables(self) -> List[str]:
+        """Names of the variables in the file."""
+        return list(self.file.schema)  # type: ignore[attr-defined]
+
+    def var(self, name: str) -> Variable:
+        """Handle on variable ``name``."""
+        schema = self.file.schema  # type: ignore[attr-defined]
+        if name not in schema:
+            raise DataspaceError(
+                f"no variable {name!r} in {self.file.name!r}; "
+                f"have {sorted(schema)}"
+            )
+        return Variable(self, schema[name])

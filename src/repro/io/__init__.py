@@ -1,0 +1,21 @@
+"""MPI-IO layer: independent I/O, data sieving, two-phase collective I/O."""
+
+from .aggregation import (iteration_windows, partition_file_domains,
+                          select_aggregators)
+from .file import MPIFile
+from .hints import CollectiveHints
+from .independent import independent_read, independent_write
+from .nonblocking import icollective_read, wait_and_unpack
+from .requests import AccessRequest, RunPlacer
+from .sieving import sieving_read
+from .twophase import (TwoPhasePlan, collective_read, collective_write,
+                       make_plan)
+
+__all__ = [
+    "iteration_windows", "partition_file_domains", "select_aggregators",
+    "MPIFile", "CollectiveHints",
+    "independent_read", "independent_write",
+    "icollective_read", "wait_and_unpack",
+    "AccessRequest", "RunPlacer", "sieving_read",
+    "TwoPhasePlan", "collective_read", "collective_write", "make_plan",
+]

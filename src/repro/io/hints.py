@@ -1,0 +1,49 @@
+"""MPI-IO hints controlling collective buffering (ROMIO ``cb_*`` hints).
+
+The paper's experiments vary exactly these knobs: the collective buffer
+size (Figures 1 & 12) and the number of aggregators per node (Figure 1
+uses 6 per node; the main benchmarks use one per node, "the number of
+aggregators is equal to the number of compute nodes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MiB
+from ..errors import IOLayerError
+
+
+@dataclass(frozen=True)
+class CollectiveHints:
+    """Tunables of the two-phase protocol.
+
+    Parameters
+    ----------
+    cb_buffer_size:
+        Collective buffer bytes per aggregator per iteration (ROMIO
+        default 4 MiB in MPICH of the paper's era).
+    aggregators_per_node:
+        How many ranks per node act as aggregators.
+    align_to_stripes:
+        Align file-domain boundaries to the file's stripe size
+        (Lustre-aware ROMIO behaviour).
+    pipeline:
+        Overlap iteration ``i``'s shuffle with iteration ``i+1``'s read
+        (the nonblocking two-phase variant the paper profiles in Fig 1).
+    """
+
+    cb_buffer_size: int = 4 * MiB
+    aggregators_per_node: int = 1
+    align_to_stripes: bool = True
+    pipeline: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cb_buffer_size < 1:
+            raise IOLayerError(
+                f"cb_buffer_size must be positive, got {self.cb_buffer_size}"
+            )
+        if self.aggregators_per_node < 1:
+            raise IOLayerError(
+                f"aggregators_per_node must be >= 1, got {self.aggregators_per_node}"
+            )

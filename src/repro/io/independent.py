@@ -1,0 +1,56 @@
+"""Independent (non-collective) I/O.
+
+Each rank issues its own runs straight to the file system, one request
+per contiguous run — the access pattern the paper profiles in Figure 3,
+where per-process non-contiguous requests swamp the OSTs with small
+reads and the CPUs sit in I/O wait.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..mpi import RankContext
+from ..pfs import PFSFile
+from .requests import AccessRequest, RunPlacer
+
+
+def independent_read(ctx: RankContext, file: PFSFile,
+                     request: AccessRequest) -> Generator:
+    """Read ``request`` with one PFS operation per run.
+
+    Returns the packed ``uint8`` buffer (runs concatenated in file
+    order); use :meth:`AccessRequest.as_array` to view it as elements.
+    """
+    placer = RunPlacer(request.runs)
+    buf = np.empty(placer.total_bytes, dtype=np.uint8)
+    for offset, length in request.runs:
+        read = ctx.kernel.process(
+            ctx.fs.read(file, offset, length, client=ctx.node.index),
+            name=f"iread:r{ctx.rank}@{offset}",
+        )
+        data = yield from ctx.wait_recording(read, "wait")
+        for local, _file_off, piece in placer.place(offset, length):
+            buf[local:local + piece] = np.frombuffer(data, dtype=np.uint8)
+        yield from ctx.memcpy(length)
+    return buf
+
+
+def independent_write(ctx: RankContext, file: PFSFile,
+                      request: AccessRequest, data: np.ndarray) -> Generator:
+    """Write the packed byte buffer ``data`` to the request's runs, one
+    PFS operation per run."""
+    flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    pos = 0
+    for offset, length in request.runs:
+        piece = flat[pos:pos + length].tobytes()
+        yield from ctx.memcpy(length)
+        write = ctx.kernel.process(
+            ctx.fs.write(file, offset, piece, client=ctx.node.index),
+            name=f"iwrite:r{ctx.rank}@{offset}",
+        )
+        yield from ctx.wait_recording(write, "wait")
+        pos += length
+    return None

@@ -1,0 +1,23 @@
+"""Simulated MPI: point-to-point, collectives, datatypes, ops, runtime."""
+
+from . import collectives
+from .comm import (ANY_SOURCE, ANY_TAG, MIN_RESERVED_TAG, CommHandle,
+                   Communicator, Message, Request)
+from .datatypes import (BYTE, DOUBLE, FLOAT, INT, LONG, Basic, Contiguous,
+                        Datatype, SubarrayType, Vector)
+from .op import (BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM,
+                 Op, lookup)
+from .runtime import RankContext, build_contexts, mpi_run
+from .wire import wire_size
+
+__all__ = [
+    "collectives",
+    "ANY_SOURCE", "ANY_TAG", "MIN_RESERVED_TAG",
+    "CommHandle", "Communicator", "Message", "Request",
+    "BYTE", "DOUBLE", "FLOAT", "INT", "LONG",
+    "Basic", "Contiguous", "Datatype", "SubarrayType", "Vector",
+    "BAND", "BOR", "LAND", "LOR", "MAX", "MAXLOC", "MIN", "MINLOC",
+    "PROD", "SUM", "Op", "lookup",
+    "RankContext", "build_contexts", "mpi_run",
+    "wire_size",
+]

@@ -1,0 +1,307 @@
+"""Collective operations built on point-to-point messages.
+
+The algorithms mirror MPICH's defaults, so communication volume and
+latency scale the same way they do on the paper's testbed:
+
+* ``barrier`` — dissemination (⌈log2 P⌉ rounds).
+* ``bcast`` / ``reduce`` — binomial trees.
+* ``allreduce`` — reduce to 0 + bcast.
+* ``gather`` / ``scatter`` — linear with the root.
+* ``allgather`` — ring (P-1 steps).
+* ``alltoall`` — P-1 pairwise exchange rounds; per-destination payloads
+  of arbitrary (differing) sizes make this double as ``alltoallv``.
+
+Every function is a generator to be driven with ``yield from`` inside a
+rank process, and must be invoked by **all** ranks of the communicator
+in the same program order (the SPMD discipline a real MPI requires).
+Tags are reserved per collective call via
+:meth:`~repro.mpi.comm.CommHandle.next_collective_tags`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence
+
+from ..errors import MPIError
+from .comm import ANY_SOURCE, CommHandle
+from .op import Op
+
+
+def _ceil_log2(n: int) -> int:
+    bits = 0
+    while (1 << bits) < n:
+        bits += 1
+    return bits
+
+
+def barrier(comm: CommHandle) -> Generator:
+    """Dissemination barrier: no rank leaves before all have entered."""
+    size, rank = comm.size, comm.rank
+    rounds = _ceil_log2(size)
+    base_tag = comm.next_collective_tags(max(rounds, 1))
+    mask = 1
+    for k in range(rounds):
+        dest = (rank + mask) % size
+        src = (rank - mask) % size
+        req = comm.isend(None, dest, base_tag + k, nbytes=8)
+        yield from comm.recv(src, base_tag + k)
+        yield req.event
+        mask <<= 1
+    return None
+
+
+def bcast(comm: CommHandle, data: Any, root: int = 0) -> Generator:
+    """Binomial-tree broadcast; returns the broadcast value on all ranks."""
+    size, rank = comm.size, comm.rank
+    comm.comm.check_rank(root)
+    tag = comm.next_collective_tags(1)
+    if size == 1:
+        return data
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            src = (relative - mask + root) % size
+            data = yield from comm.recv(src, tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    pending = []
+    while mask > 0:
+        if relative + mask < size:
+            dest = (relative + mask + root) % size
+            pending.append(comm.isend(data, dest, tag))
+        mask >>= 1
+    for req in pending:
+        yield req.event
+    return data
+
+
+def reduce(comm: CommHandle, value: Any, op: Op, root: int = 0) -> Generator:
+    """Binomial-tree reduction; the combined value lands on ``root``
+    (other ranks get ``None``).
+
+    Non-commutative operators are combined in rank order within each
+    tree merge (lower rank's value on the left), matching MPI's
+    canonical-order guarantee for binomial trees.
+    """
+    size, rank = comm.size, comm.rank
+    comm.comm.check_rank(root)
+    tag = comm.next_collective_tags(1)
+    if size == 1:
+        return value
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask == 0:
+            partner_rel = relative | mask
+            if partner_rel < size:
+                src = (partner_rel + root) % size
+                other = yield from comm.recv(src, tag)
+                # The partner has a higher relative rank: it goes right.
+                value = op(value, other)
+        else:
+            dest = ((relative & ~mask) + root) % size
+            yield from comm.send(value, dest, tag)
+            value = None
+            break
+        mask <<= 1
+    return value if rank == root else None
+
+
+def allreduce(comm: CommHandle, value: Any, op: Op) -> Generator:
+    """Reduce to rank 0, then broadcast the result to everyone."""
+    reduced = yield from reduce(comm, value, op, root=0)
+    result = yield from bcast(comm, reduced, root=0)
+    return result
+
+
+def gather(comm: CommHandle, value: Any, root: int = 0) -> Generator:
+    """Linear gather; ``root`` returns the list of per-rank values in
+    rank order, other ranks return ``None``."""
+    size, rank = comm.size, comm.rank
+    comm.comm.check_rank(root)
+    tag = comm.next_collective_tags(1)
+    if rank == root:
+        out: List[Any] = [None] * size
+        out[root] = value
+        for src in range(size):
+            if src == root:
+                continue
+            out[src] = yield from comm.recv(src, tag)
+        return out
+    yield from comm.send(value, root, tag)
+    return None
+
+
+def scatter(comm: CommHandle, values: Optional[Sequence[Any]],
+            root: int = 0) -> Generator:
+    """Linear scatter; every rank returns its element of the root's list."""
+    size, rank = comm.size, comm.rank
+    comm.comm.check_rank(root)
+    tag = comm.next_collective_tags(1)
+    if rank == root:
+        if values is None or len(values) != size:
+            raise MPIError(
+                f"scatter root needs a list of exactly {size} values"
+            )
+        pending = []
+        for dest in range(size):
+            if dest == root:
+                continue
+            pending.append(comm.isend(values[dest], dest, tag))
+        for req in pending:
+            yield req.event
+        return values[root]
+    data = yield from comm.recv(root, tag)
+    return data
+
+
+def allgather(comm: CommHandle, value: Any) -> Generator:
+    """Bruck allgather (⌈log2 P⌉ rounds) — MPICH's small-message
+    algorithm; every rank returns the rank-ordered value list.
+
+    Round ``k`` sends everything collected so far to ``rank - 2^k`` and
+    receives from ``rank + 2^k``, doubling the collected set.  For
+    non-power-of-two sizes the final round over-sends slightly (the
+    dict merge absorbs duplicates), exactly like the classic algorithm's
+    remainder step.
+    """
+    size, rank = comm.size, comm.rank
+    rounds = _ceil_log2(size)
+    base_tag = comm.next_collective_tags(max(rounds, 1))
+    collected = {rank: value}
+    step = 1
+    k = 0
+    while step < size:
+        dst = (rank - step) % size
+        src = (rank + step) % size
+        req = comm.isend(dict(collected), dst, base_tag + k)
+        incoming = yield from comm.recv(src, base_tag + k)
+        yield req.event
+        collected.update(incoming)
+        step <<= 1
+        k += 1
+    return [collected[i] for i in range(size)]
+
+
+def allgather_ring(comm: CommHandle, value: Any) -> Generator:
+    """Ring allgather (P-1 rounds) — MPICH's large-message algorithm,
+    bandwidth-optimal without payload duplication.  Kept for workloads
+    where per-rank payloads are large; semantics identical to
+    :func:`allgather`."""
+    size, rank = comm.size, comm.rank
+    tag = comm.next_collective_tags(1)
+    out: List[Any] = [None] * size
+    out[rank] = value
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry = value
+    carry_owner = rank
+    for _step in range(size - 1):
+        req = comm.isend((carry_owner, carry), right, tag)
+        src_owner, received = yield from comm.recv(left, tag)
+        yield req.event
+        out[src_owner] = received
+        carry, carry_owner = received, src_owner
+    return out
+
+
+def scan(comm: CommHandle, value: Any, op: Op) -> Generator:
+    """Inclusive prefix reduction (``MPI_Scan``): rank ``r`` returns
+    ``value_0 op value_1 op ... op value_r``.
+
+    Recursive-doubling: round ``k`` exchanges partial prefixes with the
+    rank ``2^k`` away; ⌈log2 P⌉ rounds.
+    """
+    size, rank = comm.size, comm.rank
+    rounds = _ceil_log2(size)
+    base_tag = comm.next_collective_tags(max(rounds, 1))
+    result = value       # prefix including my own value
+    carry = value        # combined value of my 2^k-neighbourhood
+    step = 1
+    k = 0
+    while step < size:
+        reqs = []
+        if rank + step < size:
+            reqs.append(comm.isend(carry, rank + step, base_tag + k))
+        if rank - step >= 0:
+            incoming = yield from comm.recv(rank - step, base_tag + k)
+            # Everything arriving comes from strictly lower ranks.
+            result = op(incoming, result)
+            carry = op(incoming, carry)
+        for req in reqs:
+            yield req.event
+        step <<= 1
+        k += 1
+    return result
+
+
+def exscan(comm: CommHandle, value: Any, op: Op) -> Generator:
+    """Exclusive prefix reduction (``MPI_Exscan``): rank ``r`` returns
+    the combination of ranks ``0..r-1`` (``None`` on rank 0)."""
+    size, rank = comm.size, comm.rank
+    rounds = _ceil_log2(size)
+    base_tag = comm.next_collective_tags(max(rounds, 1))
+    below: Any = None    # combination of strictly lower ranks
+    carry = value
+    step = 1
+    k = 0
+    while step < size:
+        reqs = []
+        if rank + step < size:
+            reqs.append(comm.isend(carry, rank + step, base_tag + k))
+        if rank - step >= 0:
+            incoming = yield from comm.recv(rank - step, base_tag + k)
+            below = incoming if below is None else op(incoming, below)
+            carry = op(incoming, carry)
+        for req in reqs:
+            yield req.event
+        step <<= 1
+        k += 1
+    return below
+
+
+def reduce_scatter_block(comm: CommHandle, values: Sequence[Any],
+                         op: Op) -> Generator:
+    """``MPI_Reduce_scatter_block``: element ``r`` of every rank's list
+    is reduced and delivered to rank ``r``.
+
+    Implemented as reduce-to-root + scatter (MPICH's small-message
+    fallback); returns this rank's reduced element.
+    """
+    size = comm.size
+    if len(values) != size:
+        raise MPIError(f"reduce_scatter needs exactly {size} values")
+    combined = yield from reduce(
+        comm,
+        list(values),
+        Op.create(lambda a, b: [op(x, y) for x, y in zip(a, b)],
+                  commutative=op.commutative, name=f"ew:{op.name}"),
+        root=0,
+    )
+    mine = yield from scatter(comm, combined, root=0)
+    return mine
+
+
+def alltoall(comm: CommHandle, values: Sequence[Any]) -> Generator:
+    """Pairwise-exchange all-to-all; ``values[d]`` goes to rank ``d``.
+
+    Payloads may differ in size per destination (the ``alltoallv``
+    case).  Returns the list where element ``s`` came from rank ``s``.
+    """
+    size, rank = comm.size, comm.rank
+    if len(values) != size:
+        raise MPIError(f"alltoall needs exactly {size} payloads")
+    tag = comm.next_collective_tags(1)
+    out: List[Any] = [None] * size
+    out[rank] = values[rank]
+    for step in range(1, size):
+        dest = (rank + step) % size
+        src = (rank - step) % size
+        req = comm.isend(values[dest], dest, tag)
+        out[src] = yield from comm.recv(src, tag)
+        yield req.event
+    return out

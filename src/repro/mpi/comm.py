@@ -1,0 +1,321 @@
+"""Point-to-point communication: communicator + per-rank handles.
+
+One :class:`Communicator` object is shared by all ranks of a job and
+holds the matching state (posted receives, unexpected messages).  Each
+rank talks through its own :class:`CommHandle` — the analogue of
+``MPI_COMM_WORLD`` as seen from one process.
+
+Semantics (eager protocol with unlimited buffering):
+
+* ``send`` charges the network transfer (holding the endpoint NICs) and
+  completes when the message is delivered to the destination's matching
+  engine; it never waits for a matching receive.
+* ``recv`` matches by ``(source, tag)`` with MPI's FIFO per-pair
+  ordering; ``ANY_SOURCE``/``ANY_TAG`` wildcards are supported.
+* Nonblocking variants return a :class:`Request` the caller yields on.
+
+Tags below :data:`MIN_RESERVED_TAG` are for users; collectives use the
+reserved space with per-collective sequence numbers (see
+:mod:`repro.mpi.collectives`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+
+from ..cluster import Machine
+from ..errors import MPIError
+from ..sim import Event, Kernel
+from .wire import wire_size
+
+#: Wildcard source for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+#: First tag value reserved for internal (collective) traffic.
+MIN_RESERVED_TAG = 1 << 20
+
+
+@dataclass
+class Message:
+    """An in-flight or delivered message."""
+
+    source: int
+    dest: int
+    tag: int
+    data: Any
+    nbytes: int
+
+
+@dataclass
+class _PostedRecv:
+    source: int
+    tag: int
+    event: Event
+
+
+class Request:
+    """Handle for a nonblocking operation.
+
+    Yield :attr:`event` (or use :meth:`wait`) inside a rank process to
+    block until completion; for receives the event's value is the
+    payload.
+    """
+
+    __slots__ = ("event", "_comm")
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+    @property
+    def complete(self) -> bool:
+        """Whether the operation has finished."""
+        return self.event.processed
+
+    def wait(self) -> Generator:
+        """Generator: wait for completion, returning the payload.
+
+        For receive requests the raw :class:`Message` envelope is
+        unwrapped to its ``data``; send requests return ``None``.
+        """
+        value = yield self.event
+        if isinstance(value, Message):
+            return value.data
+        return value
+
+
+class Communicator:
+    """Shared matching state for one group of ranks.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel.
+    machine:
+        The machine providing the network and rank placement.
+    nprocs:
+        Number of ranks in the communicator.
+    node_map:
+        Optional explicit node index per rank.  ``None`` uses the
+        machine's block placement (a world communicator); derived
+        communicators from :meth:`CommHandle.split` pass the nodes
+        their members actually live on.
+    """
+
+    _next_id = 0
+
+    def __init__(self, kernel: Kernel, machine: Machine, nprocs: int,
+                 node_map: Optional[List[int]] = None) -> None:
+        if nprocs < 1:
+            raise MPIError(f"communicator needs >= 1 rank, got {nprocs}")
+        if node_map is not None and len(node_map) != nprocs:
+            raise MPIError(
+                f"node_map has {len(node_map)} entries for {nprocs} ranks"
+            )
+        self.kernel = kernel
+        self.machine = machine
+        self.nprocs = nprocs
+        self.node_map = list(node_map) if node_map is not None else None
+        Communicator._next_id += 1
+        self.id = Communicator._next_id
+        #: Sub-communicators created by split, keyed by (split seq, color).
+        self._subcomms: Dict[Tuple[int, Any], "Communicator"] = {}
+        self._unexpected: List[Deque[Message]] = [deque() for _ in range(nprocs)]
+        self._posted: List[List[_PostedRecv]] = [[] for _ in range(nprocs)]
+        # Per-(source, dest) sequencing enforcing MPI's non-overtaking
+        # guarantee: messages between a pair are delivered in send order
+        # even if the underlying transfers complete out of order.
+        self._pair_next_out: Dict[Tuple[int, int], int] = {}
+        self._pair_next_in: Dict[Tuple[int, int], int] = {}
+        self._held_back: Dict[Tuple[int, int], Dict[int, Message]] = {}
+        #: Total messages and payload bytes sent (experiment accounting).
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- helpers -----------------------------------------------------------
+    def check_rank(self, rank: int) -> None:
+        """Validate a rank id against this communicator."""
+        if not 0 <= rank < self.nprocs:
+            raise MPIError(f"rank {rank} outside [0, {self.nprocs})")
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting ``rank``."""
+        if self.node_map is not None:
+            self.check_rank(rank)
+            return self.node_map[rank]
+        return self.machine.node_of_rank(rank, self.nprocs)
+
+    def handle(self, rank: int) -> "CommHandle":
+        """The per-rank view of this communicator."""
+        self.check_rank(rank)
+        return CommHandle(self, rank)
+
+    # -- matching engine -----------------------------------------------------
+    @staticmethod
+    def _matches(posted_source: int, posted_tag: int, msg: Message) -> bool:
+        return ((posted_source == ANY_SOURCE or posted_source == msg.source)
+                and (posted_tag == ANY_TAG or posted_tag == msg.tag))
+
+    def _deliver(self, msg: Message) -> None:
+        posted = self._posted[msg.dest]
+        for i, pr in enumerate(posted):
+            if self._matches(pr.source, pr.tag, msg):
+                del posted[i]
+                pr.event.succeed(msg)
+                return
+        self._unexpected[msg.dest].append(msg)
+
+    def _match_unexpected(self, dest: int, source: int, tag: int
+                          ) -> Optional[Message]:
+        queue = self._unexpected[dest]
+        for i, msg in enumerate(queue):
+            if self._matches(source, tag, msg):
+                del queue[i]
+                return msg
+        return None
+
+    # -- transfer process ------------------------------------------------------
+    def _send_proc(self, msg: Message, seq: int) -> Generator:
+        src_node = self.node_of(msg.source)
+        dst_node = self.node_of(msg.dest)
+        yield from self.machine.network.transfer(src_node, dst_node, msg.nbytes)
+        pair = (msg.source, msg.dest)
+        expected = self._pair_next_in.get(pair, 0)
+        if seq != expected:
+            # Overtook an earlier message of the same pair: hold it back.
+            self._held_back.setdefault(pair, {})[seq] = msg
+            return None
+        self._deliver(msg)
+        expected += 1
+        held = self._held_back.get(pair)
+        while held and expected in held:
+            self._deliver(held.pop(expected))
+            expected += 1
+        self._pair_next_in[pair] = expected
+        return None
+
+    def idle_ranks(self) -> int:  # pragma: no cover - diagnostics
+        """Ranks with posted-but-unmatched receives (debug aid)."""
+        return sum(1 for p in self._posted if p)
+
+
+class CommHandle:
+    """One rank's endpoint of a :class:`Communicator`.
+
+    All communication methods are generators: call them with
+    ``yield from`` inside a rank process (or wrap in
+    ``kernel.process`` for explicit concurrency).
+    """
+
+    def __init__(self, comm: Communicator, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        #: Per-rank collective sequence number; advances identically on
+        #: every rank because collectives are called in program order.
+        self._coll_seq = 0
+        #: Per-rank split sequence number (same SPMD discipline).
+        self._split_seq = 0
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self.comm.nprocs
+
+    @property
+    def kernel(self) -> Kernel:
+        """The owning simulation kernel."""
+        return self.comm.kernel
+
+    # -- sends -----------------------------------------------------------
+    def isend(self, data: Any, dest: int, tag: int = 0,
+              nbytes: Optional[int] = None) -> Request:
+        """Start a nonblocking send; returns a :class:`Request`."""
+        self.comm.check_rank(dest)
+        if tag < 0:
+            raise MPIError(f"negative tag {tag}")
+        size = wire_size(data) if nbytes is None else int(nbytes)
+        msg = Message(self.rank, dest, tag, data, size)
+        self.comm.messages_sent += 1
+        self.comm.bytes_sent += size
+        pair = (self.rank, dest)
+        seq = self.comm._pair_next_out.get(pair, 0)
+        self.comm._pair_next_out[pair] = seq + 1
+        proc = self.kernel.process(
+            self.comm._send_proc(msg, seq),
+            name=f"send:{self.rank}->{dest}/{tag}",
+        )
+        return Request(proc)
+
+    def send(self, data: Any, dest: int, tag: int = 0,
+             nbytes: Optional[int] = None) -> Generator:
+        """Blocking send (completes when the message is delivered)."""
+        req = self.isend(data, dest, tag, nbytes)
+        yield req.event
+        return None
+
+    # -- receives ----------------------------------------------------------
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Post a nonblocking receive; the request's value is the payload."""
+        if source != ANY_SOURCE:
+            self.comm.check_rank(source)
+        ev = self.kernel.event(name=f"recv:{self.rank}<-{source}/{tag}")
+        msg = self.comm._match_unexpected(self.rank, source, tag)
+        if msg is not None:
+            ev.succeed(msg)
+        else:
+            self.comm._posted[self.rank].append(_PostedRecv(source, tag, ev))
+        return Request(ev)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns the payload."""
+        req = self.irecv(source, tag)
+        msg = yield req.event
+        return msg.data
+
+    def recv_msg(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive returning the full :class:`Message` envelope
+        (source/tag/nbytes included) — the MPI_Status-bearing variant."""
+        req = self.irecv(source, tag)
+        msg = yield req.event
+        return msg
+
+    # -- communicator management ---------------------------------------------
+    def split(self, color: Any, key: int = 0) -> Generator:
+        """``MPI_Comm_split``: partition the communicator by ``color``.
+
+        Collective over all ranks.  Returns a :class:`CommHandle` on the
+        new communicator holding the ranks that passed the same color,
+        ordered by ``(key, old rank)`` — or ``None`` for ranks passing
+        ``color=None`` (the ``MPI_UNDEFINED`` case).
+        """
+        from . import collectives as coll
+        split_id = self._split_seq
+        self._split_seq += 1
+        entries = yield from coll.allgather(self, (color, key, self.rank))
+        if color is None:
+            return None
+        members = sorted((k, r) for c, k, r in entries if c == color)
+        ranks = [r for _k, r in members]
+        newrank = ranks.index(self.rank)
+        registry = self.comm._subcomms
+        group_key = (split_id, color)
+        if group_key not in registry:
+            node_map = [self.comm.node_of(r) for r in ranks]
+            registry[group_key] = Communicator(
+                self.kernel, self.comm.machine, len(ranks),
+                node_map=node_map)
+        return registry[group_key].handle(newrank)
+
+    # -- misc ---------------------------------------------------------------
+    def next_collective_tags(self, n_tags: int = 1) -> int:
+        """Reserve ``n_tags`` consecutive internal tags for one collective
+        call; returns the first tag.  Must be invoked in identical order
+        on every rank (SPMD discipline), as in a real MPI library."""
+        base = MIN_RESERVED_TAG + self._coll_seq
+        self._coll_seq += n_tags
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CommHandle rank={self.rank}/{self.size} comm={self.comm.id}>"

@@ -1,0 +1,190 @@
+"""Launching MPI jobs on the simulated machine.
+
+:func:`mpi_run` is the simulator's ``mpiexec``: it places ``nprocs``
+ranks on the machine, hands each a :class:`RankContext`, runs every rank
+body as a kernel process and returns their return values.
+
+:class:`RankContext` is what a rank's code sees: its rank/size, the
+communicator handle, the machine (file system, network), and CPU-time
+primitives (:meth:`RankContext.compute`, :meth:`RankContext.memcpy`)
+that occupy a core slot on the rank's node and feed the CPU profiler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from ..cluster import Machine, Node
+from ..errors import MPIError
+from ..profiling import CpuProfiler
+from ..sim import Event, Kernel
+from .comm import CommHandle, Communicator
+
+
+class RankContext:
+    """Everything one MPI rank can touch.
+
+    Attributes
+    ----------
+    rank / size:
+        This rank's id and the job size.
+    comm:
+        The rank's :class:`~repro.mpi.comm.CommHandle` (COMM_WORLD view).
+    machine:
+        The simulated machine (``machine.fs`` is the file system).
+    node:
+        The compute node hosting this rank.
+    profiler:
+        Optional :class:`~repro.profiling.CpuProfiler` receiving
+        user/sys/wait intervals.
+    """
+
+    def __init__(self, comm_handle: CommHandle, machine: Machine,
+                 node: Node, profiler: Optional[CpuProfiler] = None) -> None:
+        self.comm = comm_handle
+        self.machine = machine
+        self.node = node
+        self.profiler = profiler
+
+    @property
+    def rank(self) -> int:
+        """This rank's id."""
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the job."""
+        return self.comm.size
+
+    @property
+    def kernel(self) -> Kernel:
+        """The simulation kernel."""
+        return self.comm.kernel
+
+    @property
+    def fs(self):
+        """The machine's parallel file system."""
+        return self.machine.fs
+
+    @property
+    def cost(self):
+        """The platform cost model."""
+        return self.machine.cost
+
+    # -- CPU primitives ------------------------------------------------------
+    def compute(self, elements: int, ops_per_element: float = 1.0) -> Generator:
+        """Occupy one core for the time to process ``elements`` values.
+
+        Recorded as *user* time.  Scaled by the node's ``slowdown`` so
+        straggler injection affects analysis work.
+        """
+        duration = self.cost.compute_time(elements, ops_per_element)
+        duration *= self.node.slowdown
+        yield from self._occupy_core(duration, "user")
+
+    def compute_seconds(self, seconds: float) -> Generator:
+        """Occupy one core for a fixed duration of *user* work."""
+        yield from self._occupy_core(seconds * self.node.slowdown, "user")
+
+    def compute_parallel(self, elements: int, ops_per_element: float = 1.0,
+                         ways: Optional[int] = None) -> Generator:
+        """Compute using up to ``ways`` cores of this node concurrently.
+
+        Models the threaded runtime of the paper's Figure 7: a
+        collective-computing aggregator maps the freshly read window
+        with worker threads on its node's otherwise-idle cores (the
+        node's other ranks are blocked waiting for partial results).
+        Work splits evenly; queueing at the core resource handles the
+        case where other ranks are genuinely computing.
+        """
+        if ways is None:
+            ways = self.node.n_cores
+        ways = max(1, min(int(ways), self.node.n_cores, max(elements, 1)))
+        total = self.cost.compute_time(elements, ops_per_element)
+        total *= self.node.slowdown
+        if total <= 0:
+            return
+        if ways == 1:
+            yield from self._occupy_core(total, "user")
+            return
+        share = total / ways
+        workers = [
+            self.kernel.process(self._occupy_core(share, "user"),
+                                name=f"mapworker:r{self.rank}.{w}")
+            for w in range(ways)
+        ]
+        yield self.kernel.all_of(workers)
+
+    def memcpy(self, nbytes: int) -> Generator:
+        """Occupy one core for a pack/unpack/copy of ``nbytes``
+        (*system* time)."""
+        yield from self._occupy_core(self.cost.memcpy_time(nbytes), "sys")
+
+    def _occupy_core(self, duration: float, kind: str) -> Generator:
+        if duration <= 0:
+            return
+        req = self.node.cores.request()
+        yield req
+        start = self.kernel.now
+        try:
+            yield self.kernel.timeout(duration)
+        finally:
+            self.node.cores.release(req)
+            if self.profiler is not None:
+                self.profiler.record(self.rank, kind, start, self.kernel.now)
+
+    def wait_recording(self, event: Event, kind: str = "wait") -> Generator:
+        """Yield on ``event`` and record the blocked span in the profiler.
+
+        Used by the I/O layer so time blocked on disk or on the shuffle
+        shows up as *wait* in CPU profiles (Figures 2-3).
+        """
+        start = self.kernel.now
+        value = yield event
+        if self.profiler is not None and self.kernel.now > start:
+            self.profiler.record(self.rank, kind, start, self.kernel.now)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RankContext rank={self.rank}/{self.size} node={self.node.index}>"
+
+
+def build_contexts(machine: Machine, nprocs: int,
+                   profiler: Optional[CpuProfiler] = None,
+                   allow_oversubscribe: bool = False) -> List[RankContext]:
+    """Create the communicator and one context per rank."""
+    machine.validate_job(nprocs, allow_oversubscribe=allow_oversubscribe)
+    comm = Communicator(machine.kernel, machine, nprocs)
+    return [
+        RankContext(comm.handle(r), machine,
+                    machine.nodes[machine.node_of_rank(r, nprocs)],
+                    profiler=profiler)
+        for r in range(nprocs)
+    ]
+
+
+def mpi_run(machine: Machine, nprocs: int,
+            main: Callable[..., Generator], *args: Any,
+            profiler: Optional[CpuProfiler] = None,
+            allow_oversubscribe: bool = False,
+            run_kernel: bool = True) -> List[Any]:
+    """Run ``main(ctx, *args)`` as an ``nprocs``-rank MPI job.
+
+    Returns the list of per-rank return values (rank order).  With
+    ``run_kernel=False`` the processes are spawned but the caller drives
+    the kernel (to co-schedule several jobs); the returned list then
+    holds the :class:`~repro.sim.Process` objects instead.
+    """
+    contexts = build_contexts(machine, nprocs, profiler=profiler,
+                              allow_oversubscribe=allow_oversubscribe)
+    procs = [
+        machine.kernel.process(main(ctx, *args), name=f"rank{ctx.rank}")
+        for ctx in contexts
+    ]
+    if not run_kernel:
+        return procs
+    machine.kernel.run()
+    for p in procs:
+        if not p.triggered:  # pragma: no cover - defensive
+            raise MPIError(f"rank process {p!r} never finished")
+    return [p.value for p in procs]

@@ -1,0 +1,33 @@
+"""File metadata object for the simulated parallel file system."""
+
+from __future__ import annotations
+
+from .datasource import DataSource
+from .striping import StripeLayout
+
+
+class PFSFile:
+    """Metadata of one file: name, size, striping, and backing source.
+
+    Instances are created through :meth:`repro.pfs.lustre.LustreFS.create_file`
+    rather than directly.
+    """
+
+    def __init__(self, name: str, source: DataSource, layout: StripeLayout) -> None:
+        self.name = name
+        self.source = source
+        self.layout = layout
+
+    @property
+    def size(self) -> int:
+        """File size in bytes."""
+        return self.source.size
+
+    @property
+    def writable(self) -> bool:
+        """Whether the backing source accepts writes."""
+        return self.source.writable
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<PFSFile {self.name!r} size={self.size} "
+                f"stripes={self.layout.stripe_count}x{self.layout.stripe_size}>")

@@ -1,0 +1,177 @@
+"""Lustre-like parallel file system.
+
+:class:`LustreFS` owns the OST pool and the file namespace.  A read or
+write of a contiguous byte extent is split by the file's stripe layout
+into per-OST segments which are serviced **concurrently** (one sim
+process per segment), with queueing at each OST — exactly the behaviour
+that gives striped files their aggregate bandwidth and that makes OST
+contention visible when many aggregators hit the same stripes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import CostModel, PlatformSpec
+from ..errors import PFSError
+from ..sim import Kernel
+from .datasource import ArraySource, DataSource, ProceduralSource, ZeroSource
+from .file import PFSFile
+from .ost import OST
+from .striping import StripeLayout
+
+
+class LustreFS:
+    """The machine's parallel file system.
+
+    Parameters
+    ----------
+    kernel:
+        Owning simulation kernel.
+    n_osts:
+        Number of object storage targets.
+    cost:
+        Platform cost model.
+    default_stripe_size / default_stripe_count:
+        Striping defaults for :meth:`create_file` (count -1 = all OSTs).
+    """
+
+    def __init__(self, kernel: Kernel, n_osts: int, cost: CostModel,
+                 default_stripe_size: int, default_stripe_count: int = -1) -> None:
+        if n_osts < 1:
+            raise PFSError(f"need >= 1 OST, got {n_osts}")
+        self.kernel = kernel
+        self.cost = cost
+        self.osts: List[OST] = [OST(kernel, i, cost) for i in range(n_osts)]
+        self.default_stripe_size = default_stripe_size
+        self.default_stripe_count = default_stripe_count
+        self._files: Dict[str, PFSFile] = {}
+        #: Set by :class:`~repro.cluster.machine.Machine`: when present,
+        #: file data additionally crosses the client node's NIC (the
+        #: LNET-over-Gemini data path of the paper's testbed).
+        self.network = None
+
+    # -- namespace ---------------------------------------------------------
+    def create_file(self, name: str, source: DataSource, *,
+                    stripe_size: Optional[int] = None,
+                    stripe_count: Optional[int] = None,
+                    start_ost: int = 0) -> PFSFile:
+        """Register a file backed by ``source`` with round-robin striping.
+
+        ``stripe_count`` of ``-1`` (or None with a ``-1`` default) stripes
+        across every OST, matching `lfs setstripe -c -1`.
+        """
+        if name in self._files:
+            raise PFSError(f"file {name!r} already exists")
+        size = stripe_size if stripe_size is not None else self.default_stripe_size
+        count = stripe_count if stripe_count is not None else self.default_stripe_count
+        if count == -1:
+            count = len(self.osts)
+        if not 1 <= count <= len(self.osts):
+            raise PFSError(
+                f"stripe count {count} outside [1, {len(self.osts)}]"
+            )
+        if not 0 <= start_ost < len(self.osts):
+            raise PFSError(f"start OST {start_ost} out of range")
+        osts = [(start_ost + k) % len(self.osts) for k in range(count)]
+        f = PFSFile(name, source, StripeLayout(size, osts))
+        self._files[name] = f
+        return f
+
+    def create_procedural_file(self, name: str, n_elements: int, *,
+                               dtype=np.float64, func=None,
+                               stripe_size: Optional[int] = None,
+                               stripe_count: Optional[int] = None,
+                               start_ost: int = 0) -> PFSFile:
+        """Shorthand: create a file backed by a :class:`ProceduralSource`."""
+        src = ProceduralSource(n_elements, dtype=dtype, func=func)
+        return self.create_file(name, src, stripe_size=stripe_size,
+                                stripe_count=stripe_count, start_ost=start_ost)
+
+    def lookup(self, name: str) -> PFSFile:
+        """Fetch file metadata; raises :class:`PFSError` if unknown."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise PFSError(f"no such file: {name!r}") from None
+
+    def unlink(self, name: str) -> None:
+        """Remove ``name`` from the namespace."""
+        if name not in self._files:
+            raise PFSError(f"no such file: {name!r}")
+        del self._files[name]
+
+    def exists(self, name: str) -> bool:
+        """Whether ``name`` is a registered file."""
+        return name in self._files
+
+    # -- data path -----------------------------------------------------------
+    def read(self, file: PFSFile, offset: int, nbytes: int,
+             client: Optional[int] = None) -> Generator:
+        """Sub-process reading ``nbytes`` at ``offset``; returns the bytes.
+
+        The extent is split into per-OST segments serviced concurrently;
+        the read completes when the slowest segment does.  With
+        ``client`` given (a node index) the data additionally crosses
+        that node's inbound NIC, contending with message traffic exactly
+        as Lustre-over-Gemini does on the paper's testbed.
+        """
+        if offset < 0 or nbytes < 0 or offset + nbytes > file.size:
+            raise PFSError(
+                f"read [{offset}, {offset + nbytes}) outside file "
+                f"{file.name!r} of size {file.size}"
+            )
+        if nbytes == 0:
+            # A zero-byte read still pays one request's latency.
+            yield self.kernel.timeout(self.cost.ost_seek)
+            return b""
+        segments = file.layout.split_extent(offset, nbytes)
+        procs = [
+            self.kernel.process(self.osts[seg.ost].service(seg.length),
+                                name=f"read:{file.name}@{seg.file_offset}")
+            for seg in segments
+        ]
+        yield self.kernel.all_of(procs)
+        if client is not None and self.network is not None:
+            yield from self.network.inject(client, nbytes)
+        return file.source.read(offset, nbytes)
+
+    def write(self, file: PFSFile, offset: int, data: bytes,
+              client: Optional[int] = None) -> Generator:
+        """Sub-process writing ``data`` at ``offset``; with ``client``
+        given, the data first crosses that node's outbound NIC."""
+        nbytes = len(data)
+        if offset < 0 or offset + nbytes > file.size:
+            raise PFSError(
+                f"write [{offset}, {offset + nbytes}) outside file "
+                f"{file.name!r} of size {file.size}"
+            )
+        if not file.writable:
+            raise PFSError(f"file {file.name!r} is read-only")
+        if nbytes == 0:
+            yield self.kernel.timeout(self.cost.ost_seek)
+            return None
+        if client is not None and self.network is not None:
+            yield from self.network.eject(client, nbytes)
+        segments = file.layout.split_extent(offset, nbytes)
+        procs = [
+            self.kernel.process(self.osts[seg.ost].service(seg.length),
+                                name=f"write:{file.name}@{seg.file_offset}")
+            for seg in segments
+        ]
+        yield self.kernel.all_of(procs)
+        file.source.write(offset, data)
+        return None
+
+    # -- diagnostics -----------------------------------------------------------
+    def total_bytes_served(self) -> int:
+        """Bytes served across all OSTs since construction."""
+        return sum(o.bytes_served for o in self.osts)
+
+    def set_ost_slowdown(self, index: int, slowdown: float) -> None:
+        """Degrade (or restore) one OST — failure-injection hook."""
+        if not 0 <= index < len(self.osts):
+            raise PFSError(f"OST {index} out of range")
+        self.osts[index].slowdown = float(slowdown)

@@ -1,0 +1,70 @@
+"""Object Storage Target model.
+
+Each OST is a FIFO server: one outstanding request at a time, service
+time ``seek + bytes/bandwidth`` (from the cost model), optionally scaled
+by a per-OST ``slowdown`` so tests can inject a straggler disk.  Queueing
+at hot OSTs is what produces realistic contention when many aggregators
+read a striped file concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..config import CostModel
+from ..sim import Kernel, Resource
+
+
+class OST:
+    """One object storage target.
+
+    Parameters
+    ----------
+    kernel:
+        Owning simulation kernel.
+    index:
+        Global OST index.
+    cost:
+        Platform cost model (provides seek/bandwidth).
+    slowdown:
+        Service-time multiplier (>1 = degraded device).
+    """
+
+    def __init__(self, kernel: Kernel, index: int, cost: CostModel,
+                 slowdown: float = 1.0) -> None:
+        self.kernel = kernel
+        self.index = index
+        self.cost = cost
+        self.slowdown = float(slowdown)
+        self._server = Resource(kernel, capacity=1, name=f"ost{index}")
+        #: Total bytes served (reads + writes), for experiment reports.
+        self.bytes_served = 0
+        #: Number of requests served.
+        self.requests_served = 0
+        #: Accumulated busy time (service only, not queueing).
+        self.busy_time = 0.0
+
+    def service(self, nbytes: int) -> Generator:
+        """Sub-process: queue for the device, then spend the service time.
+
+        The caller is responsible for actually producing/consuming the
+        bytes; this models only the device occupancy.
+        """
+        req = self._server.request()
+        yield req
+        try:
+            duration = self.cost.ost_time(nbytes, self.slowdown)
+            self.busy_time += duration
+            self.bytes_served += nbytes
+            self.requests_served += 1
+            yield self.kernel.timeout(duration)
+        finally:
+            self._server.release(req)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting for this OST."""
+        return self._server.queue_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OST {self.index} served={self.requests_served}>"

@@ -1,0 +1,15 @@
+"""Measurement: CPU-state accounting, phase timelines, text reports."""
+
+from .ascii_plot import ascii_plot, plot_columns
+from .cpu import CpuProfiler, Interval, KINDS
+from .report import format_bar_chart, format_kv, format_table
+from .timeline import PhaseSample, PhaseTimeline
+from .trace import build_trace, write_trace
+
+__all__ = [
+    "ascii_plot", "plot_columns",
+    "CpuProfiler", "Interval", "KINDS",
+    "PhaseSample", "PhaseTimeline",
+    "format_bar_chart", "format_kv", "format_table",
+    "build_trace", "write_trace",
+]

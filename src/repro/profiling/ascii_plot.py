@@ -1,0 +1,97 @@
+"""ASCII line/scatter plots for experiment series.
+
+The paper's figures are line plots; the CLI renders a textual
+approximation so a regenerated figure can be eyeballed without leaving
+the terminal: multiple named series over a shared x-axis, down-sampled
+into a fixed-width character grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Glyphs assigned to series, in order.
+GLYPHS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(frac * (cells - 1)))))
+
+
+def ascii_plot(series: Dict[str, Sequence[Tuple[float, float]]],
+               width: int = 72, height: int = 16,
+               title: Optional[str] = None,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """Render named ``(x, y)`` series into a character grid.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to its points; each series gets the
+        next glyph from :data:`GLYPHS`.  Later series overwrite earlier
+        ones where they collide.
+    width / height:
+        Plot area size in characters (axes excluded).
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        return "(empty plot)"
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo > 0 and y_lo < 0.25 * y_hi:
+        y_lo = 0.0  # anchor near-zero series at zero, like the paper
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), glyph in zip(series.items(), GLYPHS):
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = glyph
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    label_w = max(len(y_hi_label), len(y_lo_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = y_hi_label.rjust(label_w)
+        elif r == height - 1:
+            prefix = y_lo_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + "-+" + "-" * width)
+    x_axis = (f"{x_lo:.4g}".ljust(width // 2)
+              + f"{x_hi:.4g}".rjust(width - width // 2))
+    lines.append(" " * label_w + "  " + x_axis)
+    legend = "  ".join(f"{glyph}={name}" for (name, _), glyph
+                       in zip(series.items(), GLYPHS))
+    lines.append(f"[{x_label} vs {y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def plot_columns(headers: Sequence[str], rows: Sequence[Sequence],
+                 x: str, ys: Sequence[str], **kwargs) -> str:
+    """Plot table columns: ``x`` column against each column in ``ys``.
+
+    Non-numeric x values fall back to their row index (categorical
+    axes like "10:1").
+    """
+    xi = list(headers).index(x)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for name in ys:
+        yi = list(headers).index(name)
+        pts = []
+        for k, row in enumerate(rows):
+            try:
+                xv = float(row[xi])
+            except (TypeError, ValueError):
+                xv = float(k)
+            pts.append((xv, float(row[yi])))
+        series[name] = pts
+    return ascii_plot(series, x_label=x, y_label="/".join(ys), **kwargs)

@@ -1,0 +1,83 @@
+"""Chrome-trace export for simulated runs.
+
+Converts the measurement objects (:class:`~repro.profiling.CpuProfiler`
+intervals, :class:`~repro.profiling.PhaseTimeline` samples) into the
+Trace Event Format consumed by ``chrome://tracing`` / Perfetto, so a
+simulated job can be inspected on a real timeline: one track per rank,
+complete events for user/sys/wait states and for read/map/shuffle
+phases.
+
+Simulated seconds are emitted as microseconds (the format's unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .cpu import CpuProfiler
+from .timeline import PhaseTimeline
+
+#: Trace-viewer colour names per CPU state / phase.
+COLOR_BY_NAME = {
+    "user": "thread_state_running",
+    "sys": "thread_state_iowait",
+    "wait": "thread_state_sleeping",
+    "read": "rail_load",
+    "map": "rail_animation",
+    "shuffle": "rail_response",
+    "write": "rail_load",
+    "compute": "rail_animation",
+}
+
+
+def _event(name: str, pid: int, tid: int, start: float, end: float,
+           category: str) -> Dict:
+    ev = {
+        "name": name,
+        "cat": category,
+        "ph": "X",  # complete event
+        "pid": pid,
+        "tid": tid,
+        "ts": start * 1e6,
+        "dur": (end - start) * 1e6,
+    }
+    cname = COLOR_BY_NAME.get(name)
+    if cname:
+        ev["cname"] = cname
+    return ev
+
+
+def build_trace(cpu: Optional[CpuProfiler] = None,
+                timeline: Optional[PhaseTimeline] = None,
+                job_name: str = "repro") -> Dict:
+    """Assemble a Trace Event Format document.
+
+    CPU states land in process 0 ("cpu"), phase samples in process 1
+    ("phases"); thread id = rank in both.
+    """
+    events: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0,
+         "args": {"name": f"{job_name}: cpu states"}},
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": f"{job_name}: io phases"}},
+    ]
+    if cpu is not None:
+        for iv in cpu.merged_intervals():
+            events.append(_event(iv.kind, 0, iv.rank, iv.start, iv.end,
+                                 "cpu"))
+    if timeline is not None:
+        for s in timeline.samples:
+            events.append(_event(s.phase, 1, s.rank, s.start, s.end,
+                                 f"iter{s.iteration}"))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(path: str, cpu: Optional[CpuProfiler] = None,
+                timeline: Optional[PhaseTimeline] = None,
+                job_name: str = "repro") -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    doc = build_trace(cpu, timeline, job_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage is the substrate for the whole reproduction: the cluster,
+the parallel file system, the MPI library, and the collective-computing
+runtime all execute as coroutine processes on one :class:`Kernel`.
+"""
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .kernel import Kernel
+from .process import Interrupt, Process
+from .resources import Request, Resource, Store, hold
+
+__all__ = [
+    "AllOf", "AnyOf", "Event", "Timeout",
+    "Kernel",
+    "Interrupt", "Process",
+    "Request", "Resource", "Store", "hold",
+]

@@ -1,0 +1,140 @@
+"""The discrete-event simulation kernel.
+
+:class:`Kernel` owns the virtual clock and the event queue.  Everything in
+the library — network transfers, disk service, CPU occupancy, MPI ranks —
+is expressed as processes and events scheduled on one kernel instance, so
+a whole "cluster run" is a single-threaded, fully deterministic replay.
+
+Determinism contract
+--------------------
+Events scheduled for the same timestamp are processed in the order they
+were scheduled (FIFO via a monotonically increasing sequence number), with
+a two-level priority so that internal bookkeeping events (``URGENT``) beat
+ordinary ones.  Two runs of the same program produce bit-identical event
+orders and therefore identical timings and results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError
+from .events import AllOf, AnyOf, Event, Timeout, NORMAL, URGENT
+from .process import Process
+
+
+class Kernel:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        k = Kernel()
+
+        def producer(k):
+            yield k.timeout(1.0)
+            return "done"
+
+        p = k.process(producer(k))
+        k.run()
+        assert k.now == 1.0 and p.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: Number of live (not yet finished) processes; used for deadlock
+        #: detection when the queue drains.
+        self._active_processes = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: fires when any event in ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Wrap ``generator`` as a :class:`Process` and start it now."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling (used by Event/Process internals) ----------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Enqueue a triggered ``event`` for processing at ``now + delay``."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule_urgent(self, event: Event) -> None:
+        """Enqueue ``event`` at the current time ahead of normal events."""
+        self.schedule(event, 0.0, priority=URGENT)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event (advance the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        self._now, _prio, _seq, event = heapq.heappop(self._queue)
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event.defused:
+            # An unhandled failure: abort the whole simulation loudly.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        Returns the final simulated time.  Raises :class:`DeadlockError`
+        if the queue drains while processes are still alive (they are
+        waiting for events nobody will trigger).
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return self._now
+            self.step()
+        if self._active_processes > 0:
+            raise DeadlockError(
+                f"simulation deadlocked at t={self._now}: "
+                f"{self._active_processes} process(es) still waiting"
+            )
+        return self._now
+
+    def run_process(self, generator: Generator, name: Optional[str] = None) -> Any:
+        """Convenience: start ``generator`` as a process, run to completion,
+        and return the process's return value."""
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.triggered:  # pragma: no cover - defensive
+            raise SimulationError(f"{proc!r} never finished")
+        return proc.value
+
+    @property
+    def queue_size(self) -> int:
+        """Number of pending scheduled events (diagnostics only)."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Kernel t={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,163 @@
+"""Coroutine processes for the discrete-event kernel.
+
+A :class:`Process` wraps a Python generator.  The generator *yields*
+:class:`~repro.sim.events.Event` instances to wait on them; when the event
+is processed the kernel resumes the generator with the event's value (or
+throws the event's exception into it).  A process is itself an event that
+triggers with the generator's ``return`` value, so processes can wait on
+each other::
+
+    def child(k):
+        yield k.timeout(2)
+        return 42
+
+    def parent(k):
+        value = yield k.process(child(k))
+        assert value == 42
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from ..errors import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Kernel
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``;
+    used e.g. by failure-injection scenarios to knock over a waiting
+    process.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulated activity.
+
+    Parameters
+    ----------
+    kernel:
+        Owning kernel.
+    generator:
+        The coroutine body.  It must yield :class:`Event` objects only.
+    name:
+        Optional label for diagnostics.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, kernel: "Kernel", generator: Generator,
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(kernel, name=name or getattr(generator, "__name__", None))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        kernel._active_processes += 1
+        # Bootstrap: resume the generator for the first time "immediately"
+        # (at the current timestamp, after already-queued events).
+        start = Event(kernel, name=f"start:{self.name}")
+        start.callbacks.append(self._resume)  # type: ignore[union-attr]
+        start.succeed()
+
+    # -- state -------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    # -- control -----------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting on an event detaches it from that event
+        (the event itself still fires for other waiters).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        # Deliver via an urgent event so the interrupt happens "now".
+        carrier = Event(self.kernel, name=f"interrupt:{self.name}")
+        carrier.callbacks.append(
+            lambda _ev: self._throw_in(Interrupt(cause))
+        )  # type: ignore[union-attr]
+        carrier.succeed()
+
+    # -- internals -----------------------------------------------------------
+    def _detach(self) -> None:
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._waiting_on = None
+
+    def _throw_in(self, exc: BaseException) -> None:
+        if self.triggered:  # finished in the meantime; drop the interrupt
+            return
+        self._detach()
+        try:
+            next_event = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+        except BaseException as error:
+            self._crash(error)
+        else:
+            self._wait_on(next_event)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                next_event = self._generator.send(event.value)
+            else:
+                event.defuse()
+                next_event = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+        except BaseException as error:
+            self._crash(error)
+        else:
+            self._wait_on(next_event)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._crash(SimulationError(
+                f"{self!r} yielded {target!r}; processes may only yield events"
+            ))
+            return
+        if target.processed:
+            # The event already fired; resume on a fresh carrier so the
+            # process continues at the current time without recursion.
+            carrier = Event(self.kernel, name="replay")
+            carrier._ok = target.ok
+            carrier._value = target._value
+            if not target.ok:
+                target.defuse()
+            carrier.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self.kernel.schedule(carrier)
+            self._waiting_on = carrier
+            return
+        assert target.callbacks is not None
+        target.callbacks.append(self._resume)
+        self._waiting_on = target
+
+    def _finish(self, value: Any) -> None:
+        self.kernel._active_processes -= 1
+        self.succeed(value)
+
+    def _crash(self, error: BaseException) -> None:
+        self.kernel._active_processes -= 1
+        self.fail(error)

@@ -1,0 +1,15 @@
+"""Workload builders: synthetic climate, WRF hurricane, INCITE table."""
+
+from .climate import (Workload, climate_field, interleaved_workload,
+                      ratio_ops_per_element, sparse_subset_workload)
+from .incite import PROJECTS, INCITEProject, render as render_incite
+from .wrf import (AMBIENT_PRESSURE, BASE_WIND, PEAK_WIND, PRESSURE_DROP,
+                  HurricaneGrid, hurricane_workload)
+
+__all__ = [
+    "Workload", "climate_field", "interleaved_workload",
+    "ratio_ops_per_element", "sparse_subset_workload",
+    "PROJECTS", "INCITEProject", "render_incite",
+    "AMBIENT_PRESSURE", "BASE_WIND", "PEAK_WIND", "PRESSURE_DROP",
+    "HurricaneGrid", "hurricane_workload",
+]

@@ -1,0 +1,144 @@
+"""Tests for fault-tolerant collective computing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.config import small_test_machine
+from repro.core import (ObjectIO, SUM_OP, cc_read_compute_ft, degrade_plan,
+                        object_get)
+from repro.dataspace import DatasetSpec, Subarray, block_partition
+from repro.errors import CollectiveComputingError
+from repro.io import CollectiveHints
+from repro.io.twophase import TwoPhasePlan
+from repro.dataspace import RunList
+from repro.mpi import mpi_run
+from repro.sim import Kernel
+
+DSPEC = DatasetSpec((16, 8, 16), np.float64, name="T")
+GSUB = Subarray((0, 0, 0), (16, 8, 16))
+
+
+def field(idx):
+    return np.sin(idx.astype(np.float64) * 0.01) + idx * 1e-4
+
+
+def build(nodes=3):
+    k = Kernel()
+    m = Machine(k, small_test_machine(nodes=nodes, cores_per_node=4,
+                                      n_osts=3, stripe_size=512))
+    f = m.fs.create_procedural_file("T.nc", DSPEC.n_elements,
+                                    dtype=np.float64, func=field,
+                                    stripe_size=512)
+    return k, m, f
+
+
+def run_ft(failed, nodes=3, nprocs=12):
+    k, m, f = build(nodes)
+    parts = block_partition(GSUB, nprocs, axis=1)
+
+    def main(ctx):
+        oio = ObjectIO(DSPEC, parts[ctx.rank], SUM_OP,
+                       hints=CollectiveHints(cb_buffer_size=1024))
+        res = yield from cc_read_compute_ft(ctx, f, oio,
+                                            failed_aggregators=failed)
+        return res
+
+    results = mpi_run(m, nprocs, main)
+    return k.now, results
+
+
+# -- degrade_plan unit tests ------------------------------------------------
+
+def make_plan_stub():
+    runs = RunList.from_pairs([(0, 400)])
+    return TwoPhasePlan(
+        all_runs=[runs],
+        aggregators=[0, 4, 8],
+        domains=[(0, 100), (100, 200), (200, 400)],
+        windows=[[(0, 50), (50, 100)], [(100, 200)], [(200, 300), (300, 400)]],
+    )
+
+
+def test_degrade_plan_noop_without_failures():
+    plan = make_plan_stub()
+    assert degrade_plan(plan, set()) is plan
+
+
+def test_degrade_plan_redistributes_windows():
+    plan = make_plan_stub()
+    deg = degrade_plan(plan, {4})
+    assert deg.aggregators == [0, 8]
+    all_windows = sorted(w for ws in deg.windows for w in ws)
+    assert all_windows == sorted(w for ws in plan.windows for w in ws)
+    # The orphaned window landed on a survivor.
+    assert (100, 200) in deg.windows[0] + deg.windows[1]
+    # Windows stay sorted per aggregator.
+    for ws in deg.windows:
+        assert ws == sorted(ws)
+
+
+def test_degrade_plan_all_failed_rejected():
+    plan = make_plan_stub()
+    with pytest.raises(CollectiveComputingError):
+        degrade_plan(plan, {0, 4, 8})
+
+
+def test_degrade_plan_multiple_failures_round_robin():
+    plan = make_plan_stub()
+    deg = degrade_plan(plan, {0, 4})
+    assert deg.aggregators == [8]
+    assert sorted(deg.windows[0]) == sorted(
+        w for ws in plan.windows for w in ws)
+
+
+# -- end-to-end -----------------------------------------------------------
+
+def test_ft_results_identical_under_failures():
+    t_ok, res_ok = run_ft(frozenset())
+    # Aggregators on 3 nodes with 12 ranks are {0, 4, 8}: fail one.
+    t_one, res_one = run_ft({4})
+    t_two, res_two = run_ft({0, 8})
+    g = res_ok[0].global_result
+    assert res_one[0].global_result == pytest.approx(g)
+    assert res_two[0].global_result == pytest.approx(g)
+    # Per-rank results survive too.
+    for a, b in zip(res_ok, res_one):
+        if a.local is None:
+            assert b.local is None
+        else:
+            assert b.local == pytest.approx(a.local)
+
+
+def test_ft_degrades_performance_not_correctness():
+    t_ok, _ = run_ft(frozenset())
+    t_deg, _ = run_ft({0, 4})  # one survivor serves everything
+    assert t_deg > t_ok
+
+
+def test_ft_matches_traditional_answer():
+    k, m, f = build()
+    parts = block_partition(GSUB, 12, axis=1)
+
+    def main(ctx):
+        oio = ObjectIO(DSPEC, parts[ctx.rank], SUM_OP, block=True,
+                       hints=CollectiveHints(cb_buffer_size=1024))
+        res = yield from object_get(ctx, f, oio)
+        return res.global_result
+
+    baseline = mpi_run(m, 12, main)[0]
+    _, res = run_ft({8})
+    assert res[0].global_result == pytest.approx(baseline)
+
+
+def test_ft_rejects_blocking():
+    k, m, f = build()
+
+    def main(ctx):
+        oio = ObjectIO(DSPEC, GSUB, SUM_OP, block=True)
+        with pytest.raises(CollectiveComputingError):
+            yield from cc_read_compute_ft(ctx, f, oio)
+        yield ctx.kernel.timeout(0)
+        return None
+
+    mpi_run(m, 1, main)

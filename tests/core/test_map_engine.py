@@ -1,0 +1,100 @@
+"""Unit tests for the map engine and linear-index helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SUM_OP, MAXLOC_OP
+from repro.core.map_engine import linear_indices_of_runs, map_pieces
+from repro.dataspace import (DatasetSpec, RunList, Subarray,
+                             flatten_subarray)
+from repro.errors import CollectiveComputingError
+
+SPEC = DatasetSpec((4, 5, 6), np.float64, file_offset=16, name="v")
+
+
+def window_for(runs: RunList):
+    """Build a window buffer holding value == dataset linear index for
+    every element the runs cover (the rest zero)."""
+    lo, hi = runs.extent()
+    buf = np.zeros(hi - lo, dtype=np.uint8)
+    for off, n in runs:
+        e0 = SPEC.element_of_byte(off)
+        count = n // 8
+        vals = np.arange(e0, e0 + count, dtype=np.float64)
+        buf[off - lo:off - lo + n] = vals.view(np.uint8)
+    return lo, buf
+
+
+def test_map_pieces_sum_correct():
+    sub = Subarray((1, 2, 1), (2, 2, 3))
+    runs = flatten_subarray(SPEC, sub)
+    lo, buf = window_for(runs)
+    partial, elements = map_pieces(SPEC, SUM_OP, buf, lo, runs, dest_rank=3,
+                                   iteration=7)
+    assert elements == sub.n_elements
+    expect = sum(SPEC.linear_index((x, y, z))
+                 for x in range(1, 3) for y in range(2, 4) for z in range(1, 4))
+    assert partial.payload == pytest.approx(expect)
+    assert partial.dest_rank == 3
+    assert partial.iteration == 7
+    assert len(partial.blocks) == len(runs)
+
+
+def test_map_pieces_empty_returns_none():
+    partial, elements = map_pieces(SPEC, SUM_OP, np.zeros(0, np.uint8), 0,
+                                   RunList.empty(), 0, 0)
+    assert partial is None and elements == 0
+
+
+def test_map_pieces_maxloc_uses_global_indices():
+    sub = Subarray((2, 0, 0), (1, 5, 6))
+    runs = flatten_subarray(SPEC, sub)
+    lo, buf = window_for(runs)
+    partial, _ = map_pieces(SPEC, MAXLOC_OP, buf, lo, runs, 0, 0)
+    # value == linear index, so the max is the last element of the slab.
+    expect_linear = SPEC.linear_index((2, 4, 5))
+    assert partial.payload == (float(expect_linear), expect_linear)
+
+
+def test_map_pieces_misaligned_piece_rejected():
+    runs = RunList.from_pairs([(17, 8)])  # not element-aligned vs offset 16
+    with pytest.raises(CollectiveComputingError):
+        map_pieces(SPEC, SUM_OP, np.zeros(32, np.uint8), 17, runs, 0, 0)
+
+
+def test_map_pieces_piece_outside_window_rejected():
+    runs = RunList.from_pairs([(16, 16)])
+    with pytest.raises(CollectiveComputingError):
+        map_pieces(SPEC, SUM_OP, np.zeros(8, np.uint8), 16, runs, 0, 0)
+
+
+def test_linear_indices_of_runs_examples():
+    sub = Subarray((0, 1, 2), (2, 2, 2))
+    runs = flatten_subarray(SPEC, sub)
+    idx = linear_indices_of_runs(SPEC, runs)
+    expect = [SPEC.linear_index((x, y, z))
+              for x in range(2) for y in range(1, 3) for z in range(2, 4)]
+    assert idx.tolist() == expect
+
+
+def test_linear_indices_empty():
+    assert linear_indices_of_runs(SPEC, RunList.empty()).size == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_linear_indices_match_bruteforce(data):
+    ndims = data.draw(st.integers(1, 3))
+    shape = tuple(data.draw(st.integers(1, 6)) for _ in range(ndims))
+    spec = DatasetSpec(shape, np.float32, file_offset=8 * data.draw(st.integers(0, 3)))
+    start = tuple(data.draw(st.integers(0, s - 1)) for s in shape)
+    count = tuple(data.draw(st.integers(1, s - st_))
+                  for s, st_ in zip(shape, start))
+    runs = flatten_subarray(spec, Subarray(start, count))
+    got = linear_indices_of_runs(spec, runs).tolist()
+    expect = []
+    for off, n in runs:
+        e0 = spec.element_of_byte(off)
+        expect.extend(range(e0, e0 + n // spec.itemsize))
+    assert got == expect

@@ -1,0 +1,39 @@
+"""Unit tests for partial-result metadata and CC statistics."""
+
+from repro.core import CCStats, PartialResult
+from repro.dataspace import LogicalBlock
+
+
+def make_partial(n_blocks=2, ndims=3, payload_nbytes=8, rank=1, it=0):
+    blocks = tuple(
+        LogicalBlock((i,) + (0,) * (ndims - 1), (1,) * ndims)
+        for i in range(n_blocks))
+    return PartialResult(dest_rank=rank, iteration=it, blocks=blocks,
+                         payload=1.0, payload_nbytes=payload_nbytes)
+
+
+def test_metadata_size_model():
+    p = make_partial(n_blocks=2, ndims=3)
+    # header 24 + 2 blocks * 3 dims * 16 bytes
+    assert p.metadata_nbytes() == 24 + 2 * 3 * 16
+    assert p.wire_size() == p.metadata_nbytes() + 8
+    assert p.ndims == 3
+
+
+def test_blockless_partial():
+    p = PartialResult(0, 0, (), 1.0, 8)
+    assert p.ndims == 0
+    assert p.metadata_nbytes() == 24
+
+
+def test_stats_accumulation():
+    stats = CCStats()
+    stats.add_partial(make_partial(rank=0))
+    stats.add_partial(make_partial(rank=0))
+    stats.add_partial(make_partial(rank=2, n_blocks=1))
+    assert stats.partial_count == 3
+    assert stats.block_count == 5
+    assert stats.payload_bytes == 24
+    assert stats.metadata_bytes == 2 * (24 + 96) + (24 + 48)
+    assert stats.shuffle_bytes == stats.metadata_bytes + 24
+    assert stats.partials_by_rank == {0: 2, 2: 1}

@@ -1,0 +1,90 @@
+"""Unit + property tests for rank decompositions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataspace import (Subarray, block_partition, grid_partition,
+                             partition_covers)
+from repro.errors import DataspaceError
+
+
+def test_block_partition_even():
+    sub = Subarray((0, 0), (8, 4))
+    parts = block_partition(sub, 4, axis=0)
+    assert [p.start[0] for p in parts] == [0, 2, 4, 6]
+    assert all(p.count == (2, 4) for p in parts)
+    assert partition_covers(sub, parts)
+
+
+def test_block_partition_uneven_front_loads():
+    sub = Subarray((2,), (7,))
+    parts = block_partition(sub, 3)
+    assert [(p.start[0], p.count[0]) for p in parts] == [(2, 3), (5, 2), (7, 2)]
+    assert partition_covers(sub, parts)
+
+
+def test_block_partition_more_ranks_than_extent():
+    sub = Subarray((0,), (2,))
+    parts = block_partition(sub, 4)
+    assert [p.count[0] for p in parts] == [1, 1, 0, 0]
+    assert partition_covers(sub, parts)
+
+
+def test_block_partition_inner_axis():
+    sub = Subarray((1, 2), (3, 8))
+    parts = block_partition(sub, 2, axis=1)
+    assert parts[0] == Subarray((1, 2), (3, 4))
+    assert parts[1] == Subarray((1, 6), (3, 4))
+
+
+def test_block_partition_validation():
+    sub = Subarray((0,), (4,))
+    with pytest.raises(DataspaceError):
+        block_partition(sub, 0)
+    with pytest.raises(DataspaceError):
+        block_partition(sub, 2, axis=1)
+
+
+def test_grid_partition_2d():
+    sub = Subarray((0, 0), (4, 6))
+    parts = grid_partition(sub, (2, 3))
+    assert len(parts) == 6
+    assert parts[0] == Subarray((0, 0), (2, 2))
+    assert parts[5] == Subarray((2, 4), (2, 2))
+    assert partition_covers(sub, parts)
+
+
+def test_grid_partition_validation():
+    sub = Subarray((0, 0), (4, 4))
+    with pytest.raises(DataspaceError):
+        grid_partition(sub, (2,))
+    with pytest.raises(DataspaceError):
+        grid_partition(sub, (0, 2))
+
+
+def test_partition_covers_detects_bad_tiling():
+    sub = Subarray((0,), (4,))
+    assert not partition_covers(sub, [Subarray((0,), (3,))])
+    # Right count but outside the region:
+    assert not partition_covers(sub, [Subarray((0,), (2,)),
+                                      Subarray((4,), (2,))])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_block_partition_always_tiles(data):
+    ndims = data.draw(st.integers(1, 3))
+    start = tuple(data.draw(st.integers(0, 5)) for _ in range(ndims))
+    count = tuple(data.draw(st.integers(1, 12)) for _ in range(ndims))
+    sub = Subarray(start, count)
+    axis = data.draw(st.integers(0, ndims - 1))
+    nprocs = data.draw(st.integers(1, 16))
+    parts = block_partition(sub, nprocs, axis=axis)
+    assert len(parts) == nprocs
+    assert partition_covers(sub, parts)
+    # Parts are ordered and disjoint along the axis.
+    pos = sub.start[axis]
+    for p in parts:
+        assert p.start[axis] == pos
+        pos += p.count[axis]
+    assert pos == sub.start[axis] + sub.count[axis]

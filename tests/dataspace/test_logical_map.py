@@ -1,0 +1,123 @@
+"""Unit + property tests for the logical map (paper §III-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataspace import (DatasetSpec, Subarray, blocks_of_linear_range,
+                             blocks_total_elements, flatten_subarray,
+                             reconstruct_run)
+from repro.errors import DataspaceError
+
+
+def covered_elements(spec, blocks):
+    """Brute-force set of linear indices covered by blocks."""
+    out = set()
+    for b in blocks:
+        assert len(b.start) == spec.ndims
+        assert len(b.count) == spec.ndims
+        ranges = [range(s, s + c) for s, c in zip(b.start, b.count)]
+        idx = np.array(np.meshgrid(*ranges, indexing="ij")).reshape(spec.ndims, -1)
+        for col in idx.T:
+            out.add(spec.linear_index(tuple(col)))
+    return out
+
+
+def test_whole_array_is_one_block():
+    spec = DatasetSpec((3, 4, 5))
+    blocks = blocks_of_linear_range(spec, 0, 60)
+    assert len(blocks) == 1
+    assert blocks[0].start == (0, 0, 0)
+    assert blocks[0].count == (3, 4, 5)
+
+
+def test_single_row_fragment():
+    spec = DatasetSpec((3, 4, 5))
+    blocks = blocks_of_linear_range(spec, 2, 4)
+    assert len(blocks) == 1
+    assert blocks[0].start == (0, 0, 2)
+    assert blocks[0].count == (1, 1, 2)
+
+
+def test_head_body_tail_decomposition():
+    spec = DatasetSpec((4, 10))
+    # elements 7..33: head row 0 (7..9), body rows 1-2, tail row 3 (30..33)
+    blocks = blocks_of_linear_range(spec, 7, 34)
+    assert blocks[0].start == (0, 7) and blocks[0].count == (1, 3)
+    assert blocks[1].start == (1, 0) and blocks[1].count == (2, 10)
+    assert blocks[2].start == (3, 0) and blocks[2].count == (1, 4)
+
+
+def test_block_count_bound():
+    spec = DatasetSpec((5, 5, 5, 5))
+    for (e0, e1) in [(0, 625), (1, 624), (7, 500), (124, 126), (0, 0)]:
+        blocks = blocks_of_linear_range(spec, e0, e1)
+        assert len(blocks) <= 2 * spec.ndims - 1
+
+
+def test_empty_range():
+    spec = DatasetSpec((3, 3))
+    assert blocks_of_linear_range(spec, 4, 4) == []
+
+
+def test_out_of_range_rejected():
+    spec = DatasetSpec((3, 3))
+    with pytest.raises(DataspaceError):
+        blocks_of_linear_range(spec, 0, 10)
+    with pytest.raises(DataspaceError):
+        blocks_of_linear_range(spec, 5, 4)
+
+
+def test_reconstruct_run_alignment_checks():
+    spec = DatasetSpec((4, 4), np.float64, file_offset=16)
+    blocks = reconstruct_run(spec, 16 + 8, 8 * 3)
+    assert blocks_total_elements(blocks) == 3
+    with pytest.raises(DataspaceError):
+        reconstruct_run(spec, 17, 8)  # misaligned offset
+    with pytest.raises(DataspaceError):
+        reconstruct_run(spec, 16, 7)  # misaligned length
+    with pytest.raises(DataspaceError):
+        reconstruct_run(spec, 0, 8)  # before dataset start
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_blocks_partition_range_exactly(data):
+    """The reconstructed blocks cover exactly [e0, e1), no gaps, no
+    overlaps — the core invariant the map engine relies on."""
+    ndims = data.draw(st.integers(1, 4))
+    shape = tuple(data.draw(st.integers(1, 6)) for _ in range(ndims))
+    spec = DatasetSpec(shape)
+    n = spec.n_elements
+    e0 = data.draw(st.integers(0, n))
+    e1 = data.draw(st.integers(e0, n))
+    blocks = blocks_of_linear_range(spec, e0, e1)
+    assert blocks_total_elements(blocks) == e1 - e0
+    assert covered_elements(spec, blocks) == set(range(e0, e1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_flatten_then_reconstruct_roundtrip(data):
+    """Flattening a hyperslab and reconstructing each run yields blocks
+    covering exactly the hyperslab — logical map round-trip."""
+    ndims = data.draw(st.integers(1, 3))
+    shape = tuple(data.draw(st.integers(1, 6)) for _ in range(ndims))
+    spec = DatasetSpec(shape, np.float64, file_offset=8)
+    start = tuple(data.draw(st.integers(0, s - 1)) for s in shape)
+    count = tuple(data.draw(st.integers(1, s - st_)) for s, st_ in
+                  zip(shape, start))
+    sub = Subarray(start, count)
+    runs = flatten_subarray(spec, sub)
+    covered = set()
+    for off, nbytes in runs:
+        for b in reconstruct_run(spec, off, nbytes):
+            for li in covered_elements(spec, [b]):
+                assert li not in covered
+                covered.add(li)
+    expected = set()
+    ranges = [range(s, s + c) for s, c in zip(start, count)]
+    idx = np.array(np.meshgrid(*ranges, indexing="ij")).reshape(ndims, -1)
+    for col in idx.T:
+        expected.add(spec.linear_index(tuple(col)))
+    assert covered == expected

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_cli_lists_experiments(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "fig13" in out
+
+
+def test_cli_runs_one_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "FLASH" in out
+    assert "regenerated in" in out
+
+
+def test_cli_csv_mode(capsys):
+    assert main(["table1", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0] == "Project,On-Line Data,Off-Line Data"
+
+
+def test_cli_outdir_writes_artifacts(tmp_path, capsys):
+    assert main(["table1", "--outdir", str(tmp_path)]) == 0
+    assert (tmp_path / "table1.txt").exists()
+    assert (tmp_path / "table1.csv").exists()
+    assert "FLASH" in (tmp_path / "table1.txt").read_text()
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["fig99"])

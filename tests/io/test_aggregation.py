@@ -1,0 +1,104 @@
+"""Unit tests for aggregator selection and file-domain partitioning."""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.config import small_test_machine
+from repro.dataspace import RunList
+from repro.errors import IOLayerError
+from repro.io import (iteration_windows, partition_file_domains,
+                      select_aggregators)
+from repro.sim import Kernel
+
+
+def machine(nodes=3, cores=4):
+    return Machine(Kernel(), small_test_machine(nodes=nodes,
+                                                cores_per_node=cores))
+
+
+def test_select_one_aggregator_per_node():
+    m = machine(nodes=3, cores=4)
+    assert select_aggregators(m, 12, per_node=1) == [0, 4, 8]
+
+
+def test_select_two_aggregators_per_node():
+    m = machine(nodes=2, cores=4)
+    assert select_aggregators(m, 8, per_node=2) == [0, 1, 4, 5]
+
+
+def test_select_more_than_node_has():
+    m = machine(nodes=3, cores=4)
+    # 4 ranks over 3 nodes: nodes carry 2/1/1; per_node=2 takes what exists.
+    assert select_aggregators(m, 4, per_node=2) == [0, 1, 2, 3]
+
+
+def test_select_validation():
+    m = machine()
+    with pytest.raises(IOLayerError):
+        select_aggregators(m, 4, per_node=0)
+
+
+def test_partition_even_no_alignment():
+    domains = partition_file_domains((0, 100), 4)
+    assert domains == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+
+def test_partition_uneven_no_alignment():
+    domains = partition_file_domains((0, 10), 3)
+    assert domains == [(0, 4), (4, 7), (7, 10)]
+    assert sum(hi - lo for lo, hi in domains) == 10
+
+
+def test_partition_stripe_aligned():
+    domains = partition_file_domains((0, 1000), 2, stripe_size=300)
+    # 4 stripes -> 2 each: [0, 600), [600, 1000).
+    assert domains == [(0, 600), (600, 1000)]
+    for lo, hi in domains[:-1]:
+        assert hi % 300 == 0
+
+
+def test_partition_alignment_with_offset_extent():
+    domains = partition_file_domains((150, 950), 2, stripe_size=300)
+    # Stripes relative to 0: base 0; 4 stripes cover [0,1200) -> 2 each.
+    assert domains == [(150, 600), (600, 950)]
+
+
+def test_partition_more_aggregators_than_stripes():
+    domains = partition_file_domains((0, 100), 4, stripe_size=100)
+    assert domains[0] == (0, 100)
+    assert all(lo == hi for lo, hi in domains[1:])
+
+
+def test_partition_empty_extent():
+    assert partition_file_domains((5, 5), 3) == [(5, 5)] * 3
+
+
+def test_partition_validation():
+    with pytest.raises(IOLayerError):
+        partition_file_domains((10, 0), 2)
+    with pytest.raises(IOLayerError):
+        partition_file_domains((0, 10), 0)
+
+
+def test_iteration_windows_skip_empty():
+    runs = RunList.from_pairs([(0, 10), (95, 10)])
+    wins = iteration_windows((0, 200), runs, 20)
+    # Extent of needed data is [0, 105); windows of 20 skip [20,80).
+    assert wins == [(0, 20), (80, 100), (100, 105)]
+
+
+def test_iteration_windows_respect_domain():
+    runs = RunList.from_pairs([(0, 100)])
+    wins = iteration_windows((40, 60), runs, 15)
+    assert wins == [(40, 55), (55, 60)]
+
+
+def test_iteration_windows_empty_domain():
+    runs = RunList.from_pairs([(0, 10)])
+    assert iteration_windows((50, 60), runs, 5) == []
+    assert iteration_windows((5, 5), runs, 5) == []
+
+
+def test_iteration_windows_validation():
+    with pytest.raises(IOLayerError):
+        iteration_windows((0, 10), RunList.empty(), 0)

@@ -1,0 +1,133 @@
+"""Tests for the MPIFile facade and nonblocking collective I/O."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.config import small_test_machine
+from repro.dataspace import DatasetSpec, Subarray
+from repro.errors import IOLayerError
+from repro.io import (AccessRequest, CollectiveHints, MPIFile,
+                      icollective_read, wait_and_unpack)
+from repro.mpi import mpi_run
+from repro.mpi.datatypes import DOUBLE, SubarrayType, Vector
+from repro.pfs import ArraySource, linear_field
+from repro.sim import Kernel
+
+
+def build():
+    k = Kernel()
+    m = Machine(k, small_test_machine(nodes=2, cores_per_node=4,
+                                      n_osts=2, stripe_size=256))
+    f = m.fs.create_procedural_file("f.bin", 1000, dtype=np.float64,
+                                    func=linear_field(), stripe_size=256)
+    return k, m, f
+
+
+def test_read_at_and_open():
+    k, m, f = build()
+
+    def main(ctx):
+        fh = MPIFile.open(ctx, "f.bin")
+        data = yield from fh.read_at(8 * 10, 8 * 3)
+        return np.frombuffer(data, np.float64)
+
+    res = mpi_run(m, 2, main)
+    assert np.array_equal(res[0], [10.0, 11.0, 12.0])
+
+
+def test_write_at():
+    k = Kernel()
+    m = Machine(k, small_test_machine(nodes=1, cores_per_node=2))
+    src = ArraySource(np.zeros(16, dtype=np.float64))
+    m.fs.create_file("w.bin", src)
+
+    def main(ctx):
+        fh = MPIFile.open(ctx, "w.bin")
+        yield from fh.write_at(16, np.array([7.0]).tobytes())
+        return None
+
+    mpi_run(m, 1, main)
+    assert src.as_array()[2] == 7.0
+
+
+def test_file_view_collective_read():
+    k, m, f = build()
+    # Vector view: every other double, 4 per instance.
+    ftype = Vector(4, 1, 2, DOUBLE)
+
+    def main(ctx):
+        fh = MPIFile.open(ctx, "f.bin",
+                          hints=CollectiveHints(cb_buffer_size=128))
+        fh.set_view(8 * (16 + 8 * ctx.rank * 2), ftype)
+        buf = yield from fh.read_all(1)
+        return buf.view(np.float64)
+
+    res = mpi_run(m, 2, main)
+    assert np.array_equal(res[0], [16.0, 18.0, 20.0, 22.0])
+    assert np.array_equal(res[1], [32.0, 34.0, 36.0, 38.0])
+
+
+def test_file_view_required():
+    k, m, f = build()
+
+    def main(ctx):
+        fh = MPIFile.open(ctx, "f.bin")
+        with pytest.raises(IOLayerError):
+            fh._view_request(1)
+        with pytest.raises(IOLayerError):
+            fh.set_view(-1, DOUBLE)
+        yield ctx.kernel.timeout(0)
+        return None
+
+    mpi_run(m, 1, main)
+
+
+def test_subarray_view_matches_access_request():
+    k, m, f = build()
+    spec = DatasetSpec((10, 10), np.float64, file_offset=0)
+    sub = Subarray((2, 3), (4, 5))
+
+    def main(ctx):
+        fh = MPIFile.open(ctx, "f.bin")
+        fh.set_view(0, SubarrayType((10, 10), (4, 5), (2, 3), DOUBLE))
+        via_view = yield from fh.read_all(1)
+        req = AccessRequest.from_subarray(spec, sub)
+        via_req = yield from fh.read_request(req)
+        return np.array_equal(via_view, via_req)
+
+    assert all(mpi_run(m, 2, main))
+
+
+def test_read_request_strategies_equal():
+    k, m, f = build()
+    spec = DatasetSpec((10, 10), np.float64)
+    sub = Subarray((1, 1), (5, 7))
+
+    def main(ctx):
+        fh = MPIFile.open(ctx, "f.bin")
+        req = AccessRequest.from_subarray(spec, sub)
+        a = yield from fh.read_request(req, collective=True)
+        b = yield from fh.read_request(req, collective=False)
+        c = yield from fh.read_request(req, collective=False, sieve=True)
+        return (np.array_equal(a, b), np.array_equal(b, c))
+
+    res = mpi_run(m, 2, main)
+    assert res[0] == (True, True)
+
+
+def test_icollective_read_overlaps_compute():
+    k, m, f = build()
+    spec = DatasetSpec((10, 10), np.float64)
+    sub = Subarray((0, 0), (10, 10))
+
+    def main(ctx):
+        req_desc = AccessRequest.from_subarray(spec, sub)
+        handle = icollective_read(ctx, f, req_desc)
+        # Overlap independent computation while the collective runs.
+        yield from ctx.compute(1000)
+        arr = yield from wait_and_unpack(ctx, handle, req_desc)
+        return float(arr.sum())
+
+    res = mpi_run(m, 2, main)
+    assert res[0] == pytest.approx(np.arange(100, dtype=float).sum())

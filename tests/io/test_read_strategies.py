@@ -1,0 +1,165 @@
+"""Correctness tests: independent, sieving and collective reads must all
+return the identical, ground-truth bytes for arbitrary hyperslabs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Machine
+from repro.config import small_test_machine
+from repro.dataspace import DatasetSpec, Subarray, block_partition
+from repro.io import (AccessRequest, CollectiveHints, collective_read,
+                      independent_read, sieving_read)
+from repro.mpi import mpi_run
+from repro.pfs import linear_field
+from repro.sim import Kernel
+
+
+def ground_truth(spec: DatasetSpec, sub: Subarray) -> np.ndarray:
+    # The dataset starts file_offset bytes into the file, so dataset
+    # element i is file element i + file_offset/itemsize, and the
+    # linear_field value equals that file element index.
+    shift = spec.file_offset // spec.itemsize
+    idx = shift + np.arange(spec.n_elements, dtype=np.int64).reshape(spec.shape)
+    sl = tuple(slice(s, s + c) for s, c in zip(sub.start, sub.count))
+    return idx[sl].astype(np.float64)
+
+
+def build(nodes=2, cores=4, n_osts=3, stripe=64):
+    spec = small_test_machine(nodes=nodes, cores_per_node=cores,
+                              n_osts=n_osts, stripe_size=stripe)
+    k = Kernel()
+    return k, Machine(k, spec)
+
+
+DSPEC = DatasetSpec((8, 10, 12), np.float64, file_offset=32, name="v")
+
+
+def make_file(machine, stripe=64):
+    return machine.fs.create_file(
+        "v.nc",
+        __import__("repro.pfs", fromlist=["ProceduralSource"]).ProceduralSource(
+            DSPEC.n_elements + 4, np.float64, func=linear_field()),
+        stripe_size=stripe)
+
+
+@pytest.mark.parametrize("strategy", ["independent", "sieve", "collective"])
+def test_strategies_agree_with_truth(strategy):
+    k, m = build()
+    f = make_file(m)
+    gsub = Subarray((1, 2, 3), (6, 7, 8))
+    parts = block_partition(gsub, 8, axis=0)
+
+    def main(ctx):
+        req = AccessRequest.from_subarray(DSPEC, parts[ctx.rank])
+        if strategy == "independent":
+            buf = yield from independent_read(ctx, f, req)
+        elif strategy == "sieve":
+            buf = yield from sieving_read(ctx, f, req, buffer_size=256)
+        else:
+            buf = yield from collective_read(
+                ctx, f, req, CollectiveHints(cb_buffer_size=200))
+        return req.as_array(buf)
+
+    res = mpi_run(m, 8, main)
+    for r in range(8):
+        if parts[r].empty:
+            continue
+        assert np.array_equal(res[r], ground_truth(DSPEC, parts[r])), r
+
+
+def test_collective_read_empty_rank_request():
+    """Ranks with empty selections still participate collectively."""
+    k, m = build()
+    f = make_file(m)
+    gsub = Subarray((0, 0, 0), (2, 10, 12))  # only 2 slabs for 8 ranks
+    parts = block_partition(gsub, 8, axis=0)
+
+    def main(ctx):
+        req = AccessRequest.from_subarray(DSPEC, parts[ctx.rank])
+        buf = yield from collective_read(ctx, f, req)
+        return buf.nbytes
+
+    res = mpi_run(m, 8, main)
+    assert res[0] > 0 and res[7] == 0
+
+
+def test_collective_read_single_rank():
+    k, m = build(nodes=1, cores=2)
+    f = make_file(m)
+
+    def main(ctx):
+        req = AccessRequest.from_subarray(DSPEC, Subarray((0, 0, 0), (2, 2, 2)))
+        buf = yield from collective_read(ctx, f, req)
+        return req.as_array(buf)
+
+    res = mpi_run(m, 1, main)
+    assert np.array_equal(res[0],
+                          ground_truth(DSPEC, Subarray((0, 0, 0), (2, 2, 2))))
+
+
+@pytest.mark.parametrize("pipeline", [True, False])
+def test_collective_read_pipeline_modes_same_data(pipeline):
+    k, m = build()
+    f = make_file(m)
+    gsub = Subarray((0, 1, 0), (8, 8, 12))
+    parts = block_partition(gsub, 4, axis=1)
+    hints = CollectiveHints(cb_buffer_size=300, pipeline=pipeline)
+
+    def main(ctx):
+        req = AccessRequest.from_subarray(DSPEC, parts[ctx.rank])
+        buf = yield from collective_read(ctx, f, req, hints)
+        return req.as_array(buf)
+
+    res = mpi_run(m, 4, main)
+    for r in range(4):
+        assert np.array_equal(res[r], ground_truth(DSPEC, parts[r]))
+
+
+@pytest.mark.parametrize("aggr_per_node", [1, 2])
+@pytest.mark.parametrize("cb", [64, 1000, 10**6])
+def test_collective_read_hint_sweep(aggr_per_node, cb):
+    k, m = build()
+    f = make_file(m)
+    gsub = Subarray((2, 0, 2), (5, 10, 9))
+    parts = block_partition(gsub, 6, axis=1)
+    hints = CollectiveHints(cb_buffer_size=cb,
+                            aggregators_per_node=aggr_per_node)
+
+    def main(ctx):
+        req = AccessRequest.from_subarray(DSPEC, parts[ctx.rank])
+        buf = yield from collective_read(ctx, f, req, hints)
+        return req.as_array(buf)
+
+    res = mpi_run(m, 6, main)
+    for r in range(6):
+        if not parts[r].empty:
+            assert np.array_equal(res[r], ground_truth(DSPEC, parts[r]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_collective_read_random_hyperslabs(data):
+    """Property: two-phase collective read == ground truth for random
+    global selections, decompositions and buffer sizes."""
+    k, m = build()
+    f = make_file(m)
+    start = tuple(data.draw(st.integers(0, s - 1)) for s in DSPEC.shape)
+    count = tuple(data.draw(st.integers(1, s - st_))
+                  for s, st_ in zip(DSPEC.shape, start))
+    gsub = Subarray(start, count)
+    nprocs = data.draw(st.integers(1, 8))
+    axis = data.draw(st.integers(0, 2))
+    cb = data.draw(st.sampled_from([100, 256, 999, 10**5]))
+    parts = block_partition(gsub, nprocs, axis=axis)
+    hints = CollectiveHints(cb_buffer_size=cb)
+
+    def main(ctx):
+        req = AccessRequest.from_subarray(DSPEC, parts[ctx.rank])
+        buf = yield from collective_read(ctx, f, req, hints)
+        return req.as_array(buf)
+
+    res = mpi_run(m, nprocs, main)
+    for r in range(nprocs):
+        if not parts[r].empty:
+            assert np.array_equal(res[r], ground_truth(DSPEC, parts[r]))

@@ -1,0 +1,210 @@
+"""Unit + property tests for collective operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Machine
+from repro.config import small_test_machine
+from repro.errors import MPIError
+from repro.mpi import (MAX, MAXLOC, MIN, MINLOC, Op, PROD, SUM, collectives,
+                       mpi_run)
+from repro.sim import Kernel
+
+
+def run(nprocs, main, nodes=2, cores=8):
+    m = Machine(Kernel(), small_test_machine(nodes=nodes,
+                                             cores_per_node=cores))
+    return mpi_run(m, nprocs, main)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 5, 8])
+@pytest.mark.parametrize("root", [0, -1])  # -1 = last rank
+def test_bcast_all_sizes_roots(nprocs, root):
+    root = root if root >= 0 else nprocs - 1
+
+    def main(ctx):
+        data = f"payload-{root}" if ctx.rank == root else None
+        out = yield from collectives.bcast(ctx.comm, data, root=root)
+        return out
+
+    res = run(nprocs, main)
+    assert res == [f"payload-{root}"] * nprocs
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 7])
+def test_reduce_sum(nprocs):
+    def main(ctx):
+        out = yield from collectives.reduce(ctx.comm, ctx.rank + 1, SUM,
+                                            root=0)
+        return out
+
+    res = run(nprocs, main)
+    assert res[0] == nprocs * (nprocs + 1) // 2
+    assert all(r is None for r in res[1:])
+
+
+def test_reduce_nonzero_root():
+    def main(ctx):
+        return (yield from collectives.reduce(ctx.comm, 2 ** ctx.rank, SUM,
+                                              root=2))
+
+    res = run(5, main)
+    assert res[2] == 2 ** 5 - 1
+    assert res[0] is None
+
+
+@pytest.mark.parametrize("op,expect", [
+    (SUM, 0 + 1 + 2 + 3 + 4 + 5), (PROD, 0),
+    (MAX, 5), (MIN, 0)])
+def test_allreduce_builtin_ops(op, expect):
+    def main(ctx):
+        return (yield from collectives.allreduce(ctx.comm, ctx.rank, op))
+
+    res = run(6, main)
+    assert res == [expect] * 6
+
+
+def test_allreduce_numpy_arrays():
+    def main(ctx):
+        v = np.full(4, float(ctx.rank))
+        return (yield from collectives.allreduce(ctx.comm, v, SUM))
+
+    res = run(4, main)
+    for arr in res:
+        assert np.array_equal(arr, np.full(4, 6.0))
+
+
+def test_maxloc_minloc():
+    vals = [3.0, 9.0, 9.0, 1.0, 5.0]
+
+    def main(ctx):
+        mx = yield from collectives.allreduce(ctx.comm,
+                                              (vals[ctx.rank], ctx.rank),
+                                              MAXLOC)
+        mn = yield from collectives.allreduce(ctx.comm,
+                                              (vals[ctx.rank], ctx.rank),
+                                              MINLOC)
+        return (mx, mn)
+
+    res = run(5, main)
+    assert all(r == ((9.0, 1), (1.0, 3)) for r in res)
+
+
+@pytest.mark.parametrize("nprocs", [1, 3, 6])
+def test_gather_and_scatter(nprocs):
+    def main(ctx):
+        g = yield from collectives.gather(ctx.comm, ctx.rank * 2, root=0)
+        values = [i + 10 for i in range(ctx.size)] if ctx.rank == 0 else None
+        s = yield from collectives.scatter(ctx.comm, values, root=0)
+        return (g, s)
+
+    res = run(nprocs, main)
+    assert res[0][0] == [r * 2 for r in range(nprocs)]
+    for r in range(1, nprocs):
+        assert res[r][0] is None
+    assert [res[r][1] for r in range(nprocs)] == [r + 10 for r in range(nprocs)]
+
+
+def test_scatter_wrong_length_rejected():
+    def main(ctx):
+        with pytest.raises(MPIError):
+            yield from collectives.scatter(ctx.comm, [1, 2], root=0)
+        with pytest.raises(MPIError):
+            yield from collectives.scatter(ctx.comm, None, root=0)
+        yield ctx.kernel.timeout(0)
+        return None
+
+    # Run with 1 rank to keep SPMD coherent after the failure.
+    run(1, main)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 5, 8])
+def test_allgather(nprocs):
+    def main(ctx):
+        return (yield from collectives.allgather(ctx.comm, ctx.rank ** 2))
+
+    res = run(nprocs, main)
+    expect = [r ** 2 for r in range(nprocs)]
+    assert res == [expect] * nprocs
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 6])
+def test_alltoall_varying_sizes(nprocs):
+    def main(ctx):
+        payloads = [np.full(dst + 1, ctx.rank, dtype=np.int64)
+                    for dst in range(ctx.size)]
+        out = yield from collectives.alltoall(ctx.comm, payloads)
+        return out
+
+    res = run(nprocs, main)
+    for r, out in enumerate(res):
+        for src in range(nprocs):
+            assert out[src].shape == (r + 1,)
+            assert (out[src] == src).all()
+
+
+def test_alltoall_wrong_length_rejected():
+    def main(ctx):
+        with pytest.raises(MPIError):
+            yield from collectives.alltoall(ctx.comm, [1])
+        yield ctx.kernel.timeout(0)
+        return None
+
+    run(2, main)
+
+
+def test_barrier_synchronizes():
+    def main(ctx):
+        yield ctx.kernel.timeout(float(ctx.rank))  # staggered arrival
+        yield from collectives.barrier(ctx.comm)
+        return ctx.kernel.now
+
+    res = run(4, main)
+    # Nobody leaves before the last arrival at t=3.
+    assert all(t >= 3.0 for t in res)
+
+
+def test_back_to_back_collectives_do_not_cross_match():
+    def main(ctx):
+        a = yield from collectives.allreduce(ctx.comm, 1, SUM)
+        b = yield from collectives.allreduce(ctx.comm, 10, SUM)
+        c = yield from collectives.allgather(ctx.comm, ctx.rank)
+        return (a, b, c)
+
+    res = run(4, main)
+    assert all(r == (4, 40, [0, 1, 2, 3]) for r in res)
+
+
+def test_noncommutative_user_op_ordered():
+    """String concatenation reduced over ranks must come out in rank
+    order on the binomial tree."""
+    concat = Op.create(lambda a, b: a + b, commutative=False, name="concat")
+
+    def main(ctx):
+        return (yield from collectives.reduce(ctx.comm, chr(ord("a") + ctx.rank),
+                                              concat, root=0))
+
+    res = run(6, main)
+    assert res[0] == "abcdef"
+
+
+def test_op_create_validation():
+    with pytest.raises(MPIError):
+        Op.create("not callable")
+
+
+@settings(max_examples=20, deadline=None)
+@given(nprocs=st.integers(1, 9), root=st.integers(0, 8),
+       seed=st.integers(0, 2**31 - 1))
+def test_reduce_matches_numpy_reference(nprocs, root, seed):
+    root = root % nprocs
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-100, 100, size=nprocs).tolist()
+
+    def main(ctx):
+        return (yield from collectives.reduce(ctx.comm, values[ctx.rank],
+                                              SUM, root=root))
+
+    res = run(nprocs, main)
+    assert res[root] == sum(values)

@@ -1,0 +1,71 @@
+"""Unit tests + property tests for the round-robin striping layout."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PFSError
+from repro.pfs import StripeLayout
+
+
+def test_ost_of_round_robin():
+    lay = StripeLayout(100, [3, 5, 7])
+    assert lay.ost_of(0) == 3
+    assert lay.ost_of(99) == 3
+    assert lay.ost_of(100) == 5
+    assert lay.ost_of(250) == 7
+    assert lay.ost_of(300) == 3  # wraps
+
+
+def test_split_extent_basic():
+    lay = StripeLayout(100, [0, 1])
+    segs = lay.split_extent(50, 200)
+    assert [(s.ost, s.file_offset, s.length) for s in segs] == [
+        (0, 50, 50), (1, 100, 100), (0, 200, 50)]
+
+
+def test_split_extent_single_ost_merges():
+    lay = StripeLayout(100, [4])
+    segs = lay.split_extent(0, 350)
+    assert len(segs) == 1
+    assert segs[0].ost == 4 and segs[0].length == 350
+
+
+def test_split_extent_empty():
+    lay = StripeLayout(100, [0, 1])
+    assert lay.split_extent(10, 0) == []
+
+
+def test_validation():
+    with pytest.raises(PFSError):
+        StripeLayout(0, [0])
+    with pytest.raises(PFSError):
+        StripeLayout(100, [])
+    with pytest.raises(PFSError):
+        StripeLayout(100, [1, 1])
+    lay = StripeLayout(10, [0])
+    with pytest.raises(PFSError):
+        lay.ost_of(-1)
+    with pytest.raises(PFSError):
+        lay.split_extent(-1, 5)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    stripe=st.integers(1, 64),
+    n_osts=st.integers(1, 8),
+    offset=st.integers(0, 1000),
+    length=st.integers(0, 500),
+)
+def test_split_extent_partitions_exactly(stripe, n_osts, offset, length):
+    """Segments tile the extent: contiguous, complete, correct OSTs."""
+    lay = StripeLayout(stripe, list(range(n_osts)))
+    segs = lay.split_extent(offset, length)
+    assert sum(s.length for s in segs) == length
+    pos = offset
+    for s in segs:
+        assert s.file_offset == pos or s.file_offset >= pos
+        # Each byte of the segment maps to the segment's OST.
+        assert lay.ost_of(s.file_offset) == s.ost
+        assert lay.ost_of(s.file_offset + s.length - 1) == s.ost
+        pos = s.file_offset + s.length
+    assert pos == offset + length or length == 0

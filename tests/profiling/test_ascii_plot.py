@@ -1,0 +1,69 @@
+"""Tests for ASCII plotting and experiment-result exports."""
+
+from repro.experiments.common import ExperimentResult
+from repro.profiling import ascii_plot, plot_columns
+
+
+def test_ascii_plot_places_extremes():
+    out = ascii_plot({"s": [(0, 0.0), (10, 10.0)]}, width=20, height=5,
+                     title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    # Max lands on the top row's right, min on the bottom row's left.
+    assert "*" in lines[2]            # first grid row
+    assert lines[2].rstrip().endswith("*")
+    assert "*" in lines[6]
+    assert "10" in out and "0" in out
+
+
+def test_ascii_plot_multiple_series_glyphs():
+    out = ascii_plot({"a": [(0, 1.0)], "b": [(1, 2.0)]}, width=10, height=4)
+    assert "*=a" in out and "o=b" in out
+    assert "*" in out and "o" in out
+
+
+def test_ascii_plot_empty():
+    assert ascii_plot({}) == "(empty plot)"
+    assert ascii_plot({"a": []}) == "(empty plot)"
+
+
+def test_ascii_plot_flat_series():
+    out = ascii_plot({"a": [(0, 5.0), (1, 5.0)]}, width=10, height=4)
+    assert "*" in out  # does not crash on zero range
+
+
+def test_plot_columns_categorical_x():
+    out = plot_columns(["ratio", "speedup"],
+                       [("10:1", 1.1), ("1:1", 2.0), ("1:10", 1.3)],
+                       x="ratio", ys=["speedup"], width=12, height=4)
+    assert "speedup" in out
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="figX", title="t",
+        headers=["x", "y"],
+        rows=[(1, 2.0), (2, 4.0)],
+        plot_spec=("x", ("y",)),
+    )
+
+
+def test_experiment_result_plot_and_render():
+    r = make_result()
+    assert "figX (ASCII approximation)" in r.plot()
+    rendered = r.render(plot=True)
+    assert "ASCII approximation" in rendered
+    r.plot_spec = None
+    assert r.plot() is None
+    assert "ASCII" not in r.render(plot=True)
+
+
+def test_experiment_result_to_csv():
+    r = make_result()
+    csv = r.to_csv()
+    assert csv.splitlines() == ["x,y", "1,2.0", "2,4.0"]
+
+
+def test_to_csv_quotes_special_cells():
+    r = ExperimentResult("e", "t", ["a"], [('x,"y"',)])
+    assert r.to_csv().splitlines()[1] == '"x,""y"""'

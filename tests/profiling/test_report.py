@@ -1,0 +1,48 @@
+"""Unit tests for text rendering."""
+
+import pytest
+
+from repro.profiling import format_bar_chart, format_kv, format_table
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1], ["longer", 2.5]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2] and "value" in lines[2]
+    assert all(len(l) == len(lines[2]) for l in lines[3:])
+
+
+def test_format_table_bad_row_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a"], [["x", "y"]])
+
+
+def test_float_formatting():
+    out = format_table(["v"], [[0.123456], [1.5e-9], [12345.0], [0]])
+    assert "0.123" in out
+    assert "1.500e-09" in out
+    assert "1.234e+04" in out or "12345" in out
+
+
+def test_bar_chart():
+    out = format_bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="x")
+    lines = out.splitlines()
+    assert lines[0].startswith("a ")
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+    with pytest.raises(ValueError):
+        format_bar_chart(["a"], [1.0, 2.0])
+
+
+def test_bar_chart_zero_values():
+    out = format_bar_chart(["a"], [0.0])
+    assert "#" not in out
+
+
+def test_format_kv():
+    out = format_kv([("key", 1), ("longer key", "v")], title="S")
+    lines = out.splitlines()
+    assert lines[2].startswith("key")
+    assert " : " in lines[2]

@@ -1,0 +1,47 @@
+"""Tests for Chrome-trace export."""
+
+import json
+
+from repro.profiling import (CpuProfiler, PhaseTimeline, build_trace,
+                             write_trace)
+
+
+def make_profilers():
+    cpu = CpuProfiler(2)
+    cpu.record(0, "wait", 0.0, 1.0)
+    cpu.record(1, "user", 0.5, 2.0)
+    tl = PhaseTimeline()
+    tl.record(0, 0, "read", 0.0, 0.5)
+    tl.record(0, 0, "shuffle", 0.5, 0.7)
+    return cpu, tl
+
+
+def test_build_trace_structure():
+    cpu, tl = make_profilers()
+    doc = build_trace(cpu, tl, job_name="job")
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(meta) == 2
+    assert len(complete) == 4
+    wait = next(e for e in complete if e["name"] == "wait")
+    assert wait["pid"] == 0 and wait["tid"] == 0
+    assert wait["ts"] == 0.0 and wait["dur"] == 1e6  # sim s -> us
+    read = next(e for e in complete if e["name"] == "read")
+    assert read["pid"] == 1 and read["cat"] == "iter0"
+
+
+def test_build_trace_partial_inputs():
+    cpu, tl = make_profilers()
+    assert len(build_trace(cpu, None)["traceEvents"]) == 2 + 2
+    assert len(build_trace(None, tl)["traceEvents"]) == 2 + 2
+    assert len(build_trace(None, None)["traceEvents"]) == 2
+
+
+def test_write_trace_roundtrip(tmp_path):
+    cpu, tl = make_profilers()
+    path = tmp_path / "trace.json"
+    count = write_trace(str(path), cpu, tl)
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == count == 6
+    assert doc["displayTimeUnit"] == "ms"

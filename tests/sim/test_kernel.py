@@ -1,0 +1,214 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Kernel
+
+
+def test_clock_starts_at_zero():
+    assert Kernel().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Kernel(start_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    k = Kernel()
+
+    def body(k):
+        yield k.timeout(2.5)
+
+    k.process(body(k))
+    k.run()
+    assert k.now == 2.5
+
+
+def test_timeout_value_passthrough():
+    k = Kernel()
+    seen = []
+
+    def body(k):
+        v = yield k.timeout(1.0, value="payload")
+        seen.append(v)
+
+    k.process(body(k))
+    k.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    k = Kernel()
+    with pytest.raises(SimulationError):
+        k.timeout(-1)
+
+
+def test_process_return_value():
+    k = Kernel()
+
+    def body(k):
+        yield k.timeout(1)
+        return 42
+
+    p = k.process(body(k))
+    k.run()
+    assert p.value == 42
+
+
+def test_nested_process_wait():
+    k = Kernel()
+
+    def child(k):
+        yield k.timeout(3)
+        return "done"
+
+    def parent(k):
+        v = yield k.process(child(k))
+        return (v, k.now)
+
+    p = k.process(parent(k))
+    k.run()
+    assert p.value == ("done", 3.0)
+
+
+def test_same_time_events_fifo_order():
+    k = Kernel()
+    order = []
+
+    def body(k, tag):
+        yield k.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        k.process(body(k, tag))
+    k.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_clock():
+    k = Kernel()
+
+    def body(k):
+        yield k.timeout(10)
+
+    k.process(body(k))
+    t = k.run(until=4.0)
+    assert t == 4.0
+    assert k.now == 4.0
+    k.run()  # finish
+    assert k.now == 10.0
+
+
+def test_run_until_in_past_rejected():
+    k = Kernel()
+
+    def body(k):
+        yield k.timeout(10)
+
+    k.process(body(k))
+    k.run()
+    with pytest.raises(SimulationError):
+        k.run(until=5.0)
+
+
+def test_deadlock_detection():
+    k = Kernel()
+
+    def stuck(k):
+        yield k.event()  # never triggered
+
+    k.process(stuck(k))
+    with pytest.raises(DeadlockError):
+        k.run()
+
+
+def test_step_on_empty_queue_rejected():
+    with pytest.raises(SimulationError):
+        Kernel().step()
+
+
+def test_run_process_convenience():
+    k = Kernel()
+
+    def body(k):
+        yield k.timeout(1)
+        return "x"
+
+    assert k.run_process(body(k)) == "x"
+
+
+def test_unhandled_process_exception_propagates():
+    k = Kernel()
+
+    def body(k):
+        yield k.timeout(1)
+        raise ValueError("boom")
+
+    k.process(body(k))
+    with pytest.raises(ValueError, match="boom"):
+        k.run()
+
+
+def test_parent_can_catch_child_exception():
+    k = Kernel()
+
+    def child(k):
+        yield k.timeout(1)
+        raise ValueError("child boom")
+
+    def parent(k):
+        try:
+            yield k.process(child(k))
+        except ValueError as e:
+            return f"caught {e}"
+
+    p = k.process(parent(k))
+    k.run()
+    assert p.value == "caught child boom"
+
+
+def test_determinism_two_identical_runs():
+    def trace_run():
+        k = Kernel()
+        log = []
+
+        def worker(k, i):
+            yield k.timeout(0.5 * (i % 3))
+            log.append((i, k.now))
+            yield k.timeout(1.0)
+            log.append((i, k.now))
+
+        for i in range(10):
+            k.process(worker(k, i))
+        k.run()
+        return log
+
+    assert trace_run() == trace_run()
+
+
+def test_yield_non_event_is_error():
+    k = Kernel()
+
+    def body(k):
+        yield "not an event"
+
+    k.process(body(k))
+    with pytest.raises(SimulationError, match="may only yield events"):
+        k.run()
+
+
+def test_process_waiting_on_already_processed_event():
+    k = Kernel()
+    ev = k.event()
+    ev.succeed("early")
+    k.run()  # processes the event with no waiters
+    got = []
+
+    def late(k):
+        v = yield ev
+        got.append(v)
+
+    k.process(late(k))
+    k.run()
+    assert got == ["early"]

@@ -1,0 +1,158 @@
+"""Unit tests for Resource, Store and hold()."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Kernel, Resource, Store, hold
+from repro.sim.process import Interrupt
+
+
+def test_resource_capacity_validation():
+    k = Kernel()
+    with pytest.raises(SimulationError):
+        Resource(k, capacity=0)
+
+
+def test_resource_grants_immediately_when_free():
+    k = Kernel()
+    r = Resource(k, capacity=2)
+    done = []
+
+    def body(k):
+        req = r.request()
+        yield req
+        done.append(k.now)
+        r.release(req)
+
+    k.process(body(k))
+    k.run()
+    assert done == [0.0]
+    assert r.in_use == 0
+
+
+def test_resource_fifo_contention():
+    k = Kernel()
+    r = Resource(k, capacity=1)
+    finish = []
+
+    def worker(k, i):
+        yield from hold(r, 1.0)
+        finish.append((i, k.now))
+
+    for i in range(4):
+        k.process(worker(k, i))
+    k.run()
+    assert finish == [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]
+
+
+def test_resource_capacity_two_parallelism():
+    k = Kernel()
+    r = Resource(k, capacity=2)
+    finish = []
+
+    def worker(k, i):
+        yield from hold(r, 1.0)
+        finish.append(k.now)
+
+    for i in range(4):
+        k.process(worker(k, i))
+    k.run()
+    assert finish == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_release_foreign_request_rejected():
+    k = Kernel()
+    r1, r2 = Resource(k), Resource(k)
+    req = r1.request()
+    with pytest.raises(SimulationError):
+        r2.release(req)
+
+
+def test_release_cancels_pending_request():
+    k = Kernel()
+    r = Resource(k, capacity=1)
+    held = r.request()  # takes the slot
+    pending = r.request()
+    assert not pending.triggered
+    r.release(pending)  # cancel from queue
+    assert r.queue_length == 0
+    r.release(held)
+    assert r.in_use == 0
+
+
+def test_store_put_then_get():
+    k = Kernel()
+    s = Store(k)
+    s.put("a")
+    s.put("b")
+    got = []
+
+    def body(k):
+        got.append((yield s.get()))
+        got.append((yield s.get()))
+
+    k.process(body(k))
+    k.run()
+    assert got == ["a", "b"]
+
+
+def test_store_get_blocks_until_put():
+    k = Kernel()
+    s = Store(k)
+    got = []
+
+    def getter(k):
+        got.append((yield s.get()))
+        got.append(k.now)
+
+    def putter(k):
+        yield k.timeout(2)
+        s.put("late")
+
+    k.process(getter(k))
+    k.process(putter(k))
+    k.run()
+    assert got == ["late", 2.0]
+
+
+def test_store_len_and_peek():
+    k = Kernel()
+    s = Store(k)
+    assert len(s) == 0
+    s.put(1)
+    s.put(2)
+    assert len(s) == 2
+    assert s.peek_all() == [1, 2]
+
+
+def test_interrupt_waiting_process():
+    k = Kernel()
+    out = []
+
+    def sleeper(k):
+        try:
+            yield k.timeout(100)
+        except Interrupt as i:
+            out.append(("interrupted", i.cause, k.now))
+
+    p = k.process(sleeper(k))
+
+    def interrupter(k):
+        yield k.timeout(1)
+        p.interrupt("because")
+
+    k.process(interrupter(k))
+    k.run(until=5)
+    assert out == [("interrupted", "because", 1.0)]
+
+
+def test_interrupt_finished_process_rejected():
+    k = Kernel()
+
+    def quick(k):
+        yield k.timeout(1)
+
+    p = k.process(quick(k))
+    k.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()

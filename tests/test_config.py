@@ -1,0 +1,78 @@
+"""Unit tests for platform configuration and the cost model."""
+
+import pytest
+
+from repro.config import (CostModel, MiB, PlatformSpec, hopper_like,
+                          small_test_machine)
+from repro.errors import ConfigError
+
+
+def test_msg_time_alpha_beta():
+    c = CostModel(net_latency=1e-6, hop_latency=1e-7, link_bandwidth=1e9)
+    assert c.msg_time(0, hops=1) == pytest.approx(1.1e-6)
+    assert c.msg_time(1_000_000, hops=1) == pytest.approx(1.1e-6 + 1e-3)
+    assert c.msg_time(0, hops=5) == pytest.approx(1.5e-6)
+
+
+def test_ost_time_seek_plus_bandwidth():
+    c = CostModel(ost_seek=1e-3, ost_bandwidth=1e8)
+    assert c.ost_time(0) == pytest.approx(1e-3)
+    assert c.ost_time(10**8) == pytest.approx(1.001)
+    assert c.ost_time(10**8, slowdown=2.0) == pytest.approx(2.002)
+
+
+def test_compute_time_scaling():
+    c = CostModel(core_element_rate=1e6)
+    assert c.compute_time(1_000_000) == pytest.approx(1.0)
+    assert c.compute_time(1_000_000, ops_per_element=0.5) == pytest.approx(0.5)
+
+
+def test_negative_sizes_rejected():
+    c = CostModel()
+    with pytest.raises(ConfigError):
+        c.ost_time(-1)
+    with pytest.raises(ConfigError):
+        c.compute_time(-1)
+    with pytest.raises(ConfigError):
+        c.memcpy_time(-1)
+
+
+def test_cost_scaled_override():
+    c = CostModel().scaled(link_bandwidth=123.0)
+    assert c.link_bandwidth == 123.0
+    assert c.ost_seek == CostModel().ost_seek
+
+
+def test_platform_validation():
+    with pytest.raises(ConfigError):
+        PlatformSpec(nodes=0)
+    with pytest.raises(ConfigError):
+        PlatformSpec(cores_per_node=0)
+    with pytest.raises(ConfigError):
+        PlatformSpec(n_osts=0)
+    with pytest.raises(ConfigError):
+        PlatformSpec(default_stripe_size=0)
+    with pytest.raises(ConfigError):
+        PlatformSpec(nodes=10, mesh_shape=(2, 2))
+
+
+def test_platform_totals_and_mesh():
+    p = PlatformSpec(nodes=6, cores_per_node=12)
+    assert p.total_cores == 72
+    nx, ny = p.resolved_mesh_shape()
+    assert nx * ny >= 6
+
+
+def test_hopper_like_preset():
+    p = hopper_like(nodes=5)
+    assert p.cores_per_node == 24
+    assert p.n_osts == 156
+    assert p.default_stripe_size == 4 * MiB
+    assert p.torus
+
+
+def test_small_test_machine_preset():
+    p = small_test_machine()
+    assert p.nodes == 2
+    assert p.total_cores == 8
+    assert not p.torus

@@ -1,0 +1,46 @@
+"""The exception hierarchy contract: every library error is a
+ReproError, so callers can catch library failures in one clause."""
+
+import pytest
+
+from repro.errors import (CollectiveComputingError, ConfigError,
+                          DataspaceError, DeadlockError, IOLayerError,
+                          MPIError, PFSError, ReproError, SimulationError)
+
+ALL = [SimulationError, DeadlockError, MPIError, IOLayerError, PFSError,
+       DataspaceError, CollectiveComputingError, ConfigError]
+
+
+@pytest.mark.parametrize("exc", ALL)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_deadlock_is_simulation_error():
+    assert issubclass(DeadlockError, SimulationError)
+
+
+def test_distinct_categories_do_not_cross_catch():
+    with pytest.raises(MPIError):
+        try:
+            raise MPIError("x")
+        except PFSError:  # pragma: no cover - must not match
+            pytest.fail("PFSError caught an MPIError")
+
+
+def test_public_api_raises_repro_errors():
+    """A few representative entry points raise catchable library errors."""
+    import numpy as np
+    from repro import DatasetSpec, Subarray, StripeLayout
+    from repro.config import CostModel
+
+    with pytest.raises(ReproError):
+        DatasetSpec(())
+    with pytest.raises(ReproError):
+        Subarray((0,), (-1,))
+    with pytest.raises(ReproError):
+        StripeLayout(0, [0])
+    with pytest.raises(ReproError):
+        CostModel().ost_time(-1)

@@ -1,0 +1,58 @@
+"""Tests for climate workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.dataspace import partition_covers
+from repro.errors import DataspaceError
+from repro.workloads import (climate_field, interleaved_workload,
+                             ratio_ops_per_element, sparse_subset_workload)
+
+
+def test_interleaved_workload_shape_and_tiling():
+    w = interleaved_workload(8, per_rank_bytes=2 ** 16)
+    assert w.nprocs == 8
+    assert partition_covers(w.gsub, list(w.parts))
+    # Split along axis 1 (interleaving).
+    starts = {p.start[1] for p in w.parts}
+    assert len(starts) == 8
+    assert all(p.start[0] == 0 for p in w.parts)
+
+
+def test_interleaved_workload_per_rank_size_close():
+    target = 1 << 20
+    w = interleaved_workload(4, per_rank_bytes=target)
+    assert w.per_rank_bytes == pytest.approx(target, rel=0.5)
+
+
+def test_interleaved_workload_validation():
+    with pytest.raises(DataspaceError):
+        interleaved_workload(2, per_rank_bytes=1)
+
+
+def test_sparse_subset_workload():
+    w = sparse_subset_workload(8, scale=0.02)
+    assert w.nprocs == 8
+    assert partition_covers(w.gsub, list(w.parts))
+    assert w.dspec.ndims == 4
+    # Sparse: the subset covers a small fraction of the dataset.
+    assert w.gsub.n_elements < w.dspec.n_elements / 4
+    with pytest.raises(DataspaceError):
+        sparse_subset_workload(8, scale=0.0)
+
+
+def test_climate_field_deterministic_and_physical():
+    idx = np.arange(10000, dtype=np.int64)
+    a = climate_field(idx)
+    b = climate_field(idx)
+    assert np.array_equal(a, b)
+    assert 250.0 < a.mean() < 320.0
+
+
+def test_ratio_ops_per_element():
+    # ratio 2 at io=10s, 4 ranks, 100 elements, rate 1e3:
+    # per-rank compute (100/4)*ops/1e3 must equal 20s -> ops = 800.
+    ops = ratio_ops_per_element(2.0, 10.0, 4, 100, 1e3)
+    assert ops == pytest.approx(800.0)
+    with pytest.raises(DataspaceError):
+        ratio_ops_per_element(1.0, 1.0, 4, 0, 1e3)

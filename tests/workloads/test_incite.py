@@ -1,0 +1,37 @@
+"""Tests for the Table I registry."""
+
+from repro.config import TiB
+from repro.workloads import PROJECTS, render_incite
+from repro.workloads.incite import rows, total_offline_tb, total_online_tb
+
+
+def test_table_matches_paper_rows():
+    assert len(PROJECTS) == 10
+    by_name = {p.name: p for p in PROJECTS}
+    flash = by_name["FLASH: Buoyancy-Driven Turbulent Nuclear Burning"]
+    assert flash.online_tb == 75 and flash.offline_tb == 300
+    climate = by_name["Climate Science"]
+    assert climate.online_tb == 10 and climate.offline_tb == 345
+    parkinsons = by_name["Parkinson's Disease"]
+    assert parkinsons.online_tb == 2.5
+
+
+def test_totals_match_paper_claims():
+    # "on-line data has exceeded TBs or even tens of TBs"
+    assert total_online_tb() == 102.5
+    # "the off-line data is near PBs of scale"
+    assert 0.5 * 1024 < total_offline_tb() < 1024
+
+
+def test_byte_conversion():
+    p = PROJECTS[1]
+    assert p.online_bytes == 2 * TiB
+
+
+def test_render_contains_all_projects():
+    text = render_incite()
+    for p in PROJECTS:
+        assert p.name in text
+    assert "PB scale" in text
+    assert len(rows()) == 10
+    assert rows()[0][1] == "75TB"

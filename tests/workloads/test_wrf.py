@@ -1,0 +1,90 @@
+"""Tests for the WRF hurricane workload."""
+
+import numpy as np
+import pytest
+
+from repro.dataspace import DatasetSpec, Subarray, partition_covers
+from repro.errors import DataspaceError
+from repro.workloads import (AMBIENT_PRESSURE, BASE_WIND, HurricaneGrid,
+                             hurricane_workload)
+
+
+def small_grid():
+    return HurricaneGrid(nt=8, ny=32, nx=32, sigma=4.0, eye_radius=3.0)
+
+
+def test_grid_validation():
+    with pytest.raises(DataspaceError):
+        HurricaneGrid(nt=2, ny=32, nx=32)
+
+
+def test_pressure_low_at_center():
+    g = small_grid()
+    t = np.array([4], dtype=np.int64)
+    cy, cx = g.track(t)
+    center_idx = np.array(
+        [t[0] * g.ny * g.nx + int(round(cy[0])) * g.nx + int(round(cx[0]))],
+        dtype=np.int64)
+    corner_idx = np.array([t[0] * g.ny * g.nx], dtype=np.int64)
+    assert g.pressure(center_idx)[0] < g.pressure(corner_idx)[0] - 20
+    assert g.pressure(corner_idx)[0] == pytest.approx(AMBIENT_PRESSURE, abs=2)
+
+
+def test_wind_peaks_on_eyewall_not_center():
+    g = small_grid()
+    t = 4
+    cy, cx = g.track(np.array([t], dtype=np.int64))
+    cy, cx = int(round(cy[0])), int(round(cx[0]))
+
+    def wind_at(y, x):
+        idx = np.array([t * g.ny * g.nx + y * g.nx + x], dtype=np.int64)
+        return g.wind_speed(idx)[0]
+
+    eyewall = wind_at(cy, min(cx + int(g.eye_radius), g.nx - 1))
+    center = wind_at(cy, cx)
+    corner = wind_at(0, 0)
+    assert eyewall > center
+    assert eyewall > corner
+    assert corner == pytest.approx(BASE_WIND, abs=5)
+
+
+def test_fields_deterministic():
+    g = small_grid()
+    idx = np.arange(g.nt * g.ny * g.nx, dtype=np.int64)
+    assert np.array_equal(g.pressure(idx), g.pressure(idx))
+    assert np.array_equal(g.wind_speed(idx), g.wind_speed(idx))
+
+
+def test_true_extremes_consistent_with_fields():
+    g = small_grid()
+    sub = Subarray((0, 4, 4), (8, 24, 24))
+    v, lin = g.true_min_pressure(sub)
+    spec = DatasetSpec(g.shape, np.float64)
+    coords = spec.coords_of(lin)
+    assert sub.contains(coords)
+    # Evaluating the field at the reported index gives the value.
+    assert g.pressure(np.array([lin], dtype=np.int64))[0] == pytest.approx(v)
+    vmax, lmax = g.true_max_wind(sub)
+    assert g.wind_speed(np.array([lmax], dtype=np.int64))[0] == pytest.approx(vmax)
+
+
+def test_variable_defs():
+    g = small_grid()
+    defs = g.variable_defs()
+    assert [d.name for d in defs] == ["PSFC", "WS10"]
+    assert all(d.shape == g.shape for d in defs)
+
+
+def test_hurricane_workload_partitions():
+    grid, gsub, parts = hurricane_workload(6, scale=0.02, time_fraction=0.25)
+    assert len(parts) == 6
+    assert partition_covers(gsub, parts)
+    assert grid.nt % 6 == 0
+    with pytest.raises(DataspaceError):
+        hurricane_workload(6, scale=0.0)
+
+
+def test_workload_size_scales_with_fraction():
+    _, g1, _ = hurricane_workload(6, scale=0.02, time_fraction=0.25)
+    _, g2, _ = hurricane_workload(6, scale=0.02, time_fraction=1.0)
+    assert g2.n_elements > 2 * g1.n_elements
