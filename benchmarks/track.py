@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Wall-clock tracker for the hot path (Figure 10, quick scale).
+
+Runs the fig10 weak-scaling experiment at the quick configuration
+(``per_rank_mib=1.0, process_counts=(24, 48, 120)``) several times,
+takes the median wall time, and maintains ``BENCH_paper.json`` at the
+repo root.  Exits non-zero when the measured median regresses more
+than ``--threshold`` (default 25%) over the recorded reference —
+the guard the CI benchmark job enforces.
+
+Wall times on one machine drift a couple hundred milliseconds between
+runs, hence the median-of-N.  The global block cache is cleared before
+every repeat so each one pays the same (cold) generation cost — warm
+repeats are faster but far noisier, cold repeats are stable within a
+few milliseconds.  The simulated figures (speedups, cc_s) are
+deterministic and recorded alongside as machine-independent ground
+truth.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/track.py             # measure + check
+    PYTHONPATH=src python benchmarks/track.py --update    # rebase reference
+    PYTHONPATH=src python benchmarks/track.py --no-check  # measure only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import fig10_scalability  # noqa: E402
+from repro.pfs import datasource  # noqa: E402
+
+#: The quick configuration the acceptance criterion names.
+QUICK_KWARGS = dict(per_rank_mib=1.0, process_counts=(24, 48, 120))
+#: Wall time of the growth seed (commit ca6b137) for the quick
+#: configuration on the reference container — the "before" number.
+SEED_WALL_S = 3.87
+
+BENCH_PATH = REPO_ROOT / "BENCH_paper.json"
+
+
+def measure(runs: int):
+    """Median wall time over ``runs`` repeats + the (deterministic)
+    simulated rows of the last repeat."""
+    walls = []
+    result = None
+    rows = None
+    for i in range(runs):
+        if datasource.GLOBAL_BLOCK_CACHE is not None:
+            datasource.GLOBAL_BLOCK_CACHE.clear()
+        t0 = time.perf_counter()
+        result = fig10_scalability.run(**QUICK_KWARGS)
+        walls.append(time.perf_counter() - t0)
+        this_rows = [list(map(repr, row)) for row in result.rows]
+        if rows is not None and this_rows != rows:
+            raise SystemExit("FAIL: fig10 rows differ between repeats "
+                             "(determinism broken)")
+        rows = this_rows
+        print(f"  run {i + 1}/{runs}: {walls[-1]:.3f}s")
+    return statistics.median(walls), walls, result
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--runs", type=int, default=3,
+                    help="repeats for the median (default 3)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed relative regression (default 0.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="rebase the reference to this measurement")
+    ap.add_argument("--no-check", action="store_true",
+                    help="measure and record, never fail")
+    args = ap.parse_args()
+    if args.runs < 1:
+        ap.error(f"--runs must be >= 1, got {args.runs}")
+
+    print(f"fig10 quick ({QUICK_KWARGS}), {args.runs} run(s):")
+    median, walls, result = measure(args.runs)
+    print(f"  median: {median:.3f}s  (seed baseline {SEED_WALL_S:.2f}s, "
+          f"{SEED_WALL_S / median:.2f}x)")
+
+    previous = None
+    if BENCH_PATH.exists():
+        previous = json.loads(BENCH_PATH.read_text())
+
+    reference = None
+    if previous is not None:
+        reference = previous.get("fig10_quick", {}).get("reference_wall_s")
+
+    regressed = False
+    if reference is not None and not args.no_check:
+        limit = reference * (1.0 + args.threshold)
+        verdict = "OK" if median <= limit else "REGRESSION"
+        print(f"  reference: {reference:.3f}s, limit {limit:.3f}s -> "
+              f"{verdict}")
+        regressed = median > limit
+
+    if args.update or reference is None:
+        reference = median
+    elif median < reference:
+        # Ratchet downward only: noise never inflates the reference.
+        reference = median
+
+    payload = {
+        "experiment": "fig10_scalability.run",
+        "quick_kwargs": {"per_rank_mib": 1.0,
+                         "process_counts": [24, 48, 120]},
+        "fig10_quick": {
+            "seed_wall_s": SEED_WALL_S,
+            "reference_wall_s": round(reference, 4),
+            "last_wall_s": round(median, 4),
+            "last_runs": [round(w, 4) for w in walls],
+            "speedup_vs_seed": round(SEED_WALL_S / median, 3),
+        },
+        # Deterministic simulated numbers (machine-independent).
+        "simulated": {
+            "headers": result.headers,
+            "rows": [list(row) for row in result.rows],
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  wrote {BENCH_PATH.relative_to(REPO_ROOT)}")
+
+    if regressed and not args.update:
+        print(f"FAIL: median {median:.3f}s regressed more than "
+              f"{args.threshold:.0%} over reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ from .iterative import (IterativeAnalysis, IterativeStats, shift_plan,
 from .map_engine import linear_indices_of_runs, map_pieces
 from .metadata import CCStats, PartialResult
 from .object_io import MODES, REDUCE_MODES, ObjectIO
+from .plan_cache import PlanMemo
 from .ops import (COUNT_OP, MAX_OP, MAXLOC_OP, MEAN_OP, MIN_OP, MINLOC_OP,
                   MOMENTS_OP, SUM_OP, CountOp, HistogramOp, MapReduceOp,
                   MaxLocOp, MaxOp, MeanOp, MinLocOp, MinOp, MomentsOp, SumOp,
@@ -28,7 +29,7 @@ __all__ = [
     "traditional_read_compute",
     "linear_indices_of_runs", "map_pieces",
     "CCStats", "PartialResult",
-    "MODES", "REDUCE_MODES", "ObjectIO",
+    "MODES", "REDUCE_MODES", "ObjectIO", "PlanMemo",
     "COUNT_OP", "MAX_OP", "MAXLOC_OP", "MEAN_OP", "MIN_OP", "MINLOC_OP",
     "MOMENTS_OP", "SUM_OP",
     "CountOp", "HistogramOp", "MapReduceOp", "MaxLocOp", "MaxOp", "MeanOp",

@@ -29,13 +29,30 @@ from ..profiling import PhaseTimeline
 from .map_engine import linear_indices_of_runs
 from .metadata import CCStats
 from .object_io import ObjectIO
+from .plan_cache import PlanMemo
 from .reduction import global_reduce
 from .runtime import CCResult, cc_read_compute
 
 
+def _memoized_plan(ctx: RankContext, file: PFSFile, oio: ObjectIO,
+                   plan_memo: PlanMemo, runs, grid) -> Generator:
+    """Plan for ``runs`` via the caller's memo: reuse a shifted cached
+    plan when the request is a translation, else exchange and store."""
+    from ..io.twophase import make_plan
+
+    itemsize = grid[1] if grid is not None else 1
+    plan = plan_memo.lookup(runs, itemsize)
+    if plan is None:
+        plan = yield from make_plan(ctx, runs, file, oio.hints, grid)
+        plan_memo.store(runs, plan)
+    return plan
+
+
 def traditional_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
                              timeline: Optional[PhaseTimeline] = None,
-                             stats: Optional[CCStats] = None) -> Generator:
+                             stats: Optional[CCStats] = None,
+                             plan_memo: Optional[PlanMemo] = None
+                             ) -> Generator:
     """The baseline: complete the I/O, then compute, then MPI_Reduce.
 
     ``oio.mode`` selects two-phase collective I/O or per-rank
@@ -45,14 +62,19 @@ def traditional_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
     """
     request = AccessRequest.from_subarray(oio.spec, oio.sub)
     if oio.mode == "collective":
+        plan = None
+        if plan_memo is not None:
+            plan = yield from _memoized_plan(ctx, file, oio, plan_memo,
+                                             request.runs, None)
         buf = yield from collective_read(ctx, file, request, oio.hints,
-                                         timeline)
+                                         timeline, plan=plan)
     else:
         buf = yield from independent_read(ctx, file, request)
     payload = None
     if request.nbytes:
         values = buf.view(oio.spec.dtype)
-        indices = linear_indices_of_runs(oio.spec, request.runs)
+        indices = (linear_indices_of_runs(oio.spec, request.runs)
+                   if oio.op.needs_indices else None)
         t0 = ctx.kernel.now
         payload = oio.op.map_chunk(values, indices)
         yield from ctx.compute(values.size, oio.op.ops_per_element)
@@ -96,6 +118,8 @@ def local_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
     if len(runs):
         lo, hi = runs.extent()
         # Element-aligned windows over this rank's own extent.
+        # Each entry carries the window's clipped pieces, computed once
+        # and reused by the read issue and the map step below.
         windows = []
         pos = lo
         item = oio.spec.itemsize
@@ -104,13 +128,12 @@ def local_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
             win_hi -= (win_hi - oio.spec.file_offset) % item
             if win_hi <= pos:
                 win_hi = min(pos + max(cb, item), hi)
-            if len(runs.clip(pos, win_hi)):
-                windows.append((pos, win_hi))
+            win_pieces = runs.clip(pos, win_hi)
+            if len(win_pieces):
+                windows.append(win_pieces)
             pos = win_hi
 
-        def issue_read(window):
-            w_lo, w_hi = window
-            pieces = runs.clip(w_lo, w_hi)
+        def issue_read(pieces):
             r_lo, r_hi = pieces.extent()
             return r_lo, kernel.process(
                 ctx.fs.read(file, r_lo, r_hi - r_lo, client=ctx.node.index),
@@ -118,7 +141,7 @@ def local_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
             )
 
         pending = issue_read(windows[0])
-        for t, (w_lo, w_hi) in enumerate(windows):
+        for t, pieces in enumerate(windows):
             read_lo, read_proc = pending
             t0 = kernel.now
             data = yield from ctx.wait_recording(read_proc, "wait")
@@ -127,7 +150,6 @@ def local_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
             if t + 1 < len(windows):
                 pending = issue_read(windows[t + 1])
             window_data = np.frombuffer(data, dtype=np.uint8)
-            pieces = runs.clip(w_lo, w_hi)
             t_map = kernel.now
             partial, elements = map_pieces(oio.spec, oio.op, window_data,
                                            read_lo, pieces, ctx.rank, t)
@@ -150,7 +172,8 @@ def local_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
 
 def object_get(ctx: RankContext, file: PFSFile, oio: ObjectIO,
                timeline: Optional[PhaseTimeline] = None,
-               stats: Optional[CCStats] = None) -> Generator:
+               stats: Optional[CCStats] = None,
+               plan_memo: Optional[PlanMemo] = None) -> Generator:
     """Analysis-in-I/O front door (collective call on all ranks).
 
     Dispatch rules (paper §III-A): ``block=True`` runs the traditional
@@ -158,15 +181,34 @@ def object_get(ctx: RankContext, file: PFSFile, oio: ObjectIO,
     I/O mode; ``block=False`` runs the collective-computing pipeline
     for ``mode="collective"`` and the local per-rank pipeline
     (:func:`local_read_compute`) for ``mode="independent"``.
+
+    ``plan_memo`` (opt-in) caches the two-phase schedule across repeated
+    calls on *both* collective paths: a call whose request is a
+    whole-element byte translation of the memo's base skips the offset
+    exchange and reuses the shifted plan — the general form of
+    :class:`repro.core.iterative.IterativeAnalysis`'s reuse.  All ranks
+    must pass memos with the same call history (SPMD), and one memo must
+    not be shared between block and non-block calls (their window grids
+    differ).  Ignored on the independent path, which builds no plan.
     """
     if oio.block:
         result = yield from traditional_read_compute(ctx, file, oio,
-                                                     timeline, stats)
+                                                     timeline, stats,
+                                                     plan_memo)
     elif oio.mode == "independent":
         result = yield from local_read_compute(ctx, file, oio, timeline,
                                                stats)
     else:
-        result = yield from cc_read_compute(ctx, file, oio, timeline, stats)
+        plan = None
+        if plan_memo is not None:
+            request = AccessRequest.from_subarray(oio.spec, oio.sub)
+            # Element-aligned grid, matching cc_read_compute's own
+            # planning (the map must never see a split value).
+            grid = (oio.spec.file_offset, oio.spec.itemsize)
+            plan = yield from _memoized_plan(ctx, file, oio, plan_memo,
+                                             request.runs, grid)
+        result = yield from cc_read_compute(ctx, file, oio, timeline, stats,
+                                            plan=plan)
     return result
 
 

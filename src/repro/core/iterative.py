@@ -22,41 +22,24 @@ from typing import Generator, List, Optional, Sequence
 
 from ..dataspace import RunList, Subarray, flatten_subarray
 from ..errors import CollectiveComputingError
-from ..io import AccessRequest
 from ..io.twophase import TwoPhasePlan, make_plan
 from ..mpi import RankContext
 from ..pfs import PFSFile
 from ..profiling import PhaseTimeline
 from .metadata import CCStats
 from .object_io import ObjectIO
+from .plan_cache import PlanMemo, translation_delta
 from .runtime import CCResult, cc_read_compute
+
+__all__ = ["IterativeAnalysis", "IterativeStats", "shift_plan",
+           "sliding_windows", "translation_delta"]
 
 
 def shift_plan(plan: TwoPhasePlan, delta: int) -> TwoPhasePlan:
     """The plan for a byte-translated access: every run list, domain and
-    window moved by ``delta`` bytes.  Aggregator assignment is
-    unchanged (the pattern, and therefore the balance, is identical)."""
-    return TwoPhasePlan(
-        all_runs=[rl.shift(delta) for rl in plan.all_runs],
-        aggregators=list(plan.aggregators),
-        domains=[(lo + delta, hi + delta) for lo, hi in plan.domains],
-        windows=[[(lo + delta, hi + delta) for lo, hi in ws]
-                 for ws in plan.windows],
-    )
-
-
-def translation_delta(base: RunList, other: RunList) -> Optional[int]:
-    """The constant byte shift turning ``base`` into ``other``, or None
-    if the two run lists are not exact translations of each other."""
-    if len(base) != len(other):
-        return None
-    if len(base) == 0:
-        return 0
-    delta = int(other.offsets[0] - base.offsets[0])
-    if (other.offsets - base.offsets == delta).all() and \
-            (other.lengths == base.lengths).all():
-        return delta
-    return None
+    window moved by ``delta`` bytes.  Kept as a module-level helper for
+    compatibility; delegates to :meth:`TwoPhasePlan.shifted`."""
+    return plan.shifted(delta)
 
 
 @dataclass
@@ -93,8 +76,7 @@ class IterativeAnalysis:
         self.file = file
         self.oio = oio
         self.stats = IterativeStats()
-        self._base_plan: Optional[TwoPhasePlan] = None
-        self._base_runs: Optional[RunList] = None
+        self.memo = PlanMemo()
 
     def _plan_for(self, ctx: RankContext, runs: RunList) -> Generator:
         """Cached-or-fresh plan for this step's request.
@@ -104,18 +86,17 @@ class IterativeAnalysis:
         own runs), and run lists of all ranks shift together when the
         global pattern is a translation — so the decision is coherent
         without extra communication for the common case of a rigid
-        time-axis sweep.
+        time-axis sweep.  The mechanics live in :class:`PlanMemo`, which
+        is also usable directly via ``object_get(..., plan_memo=...)``.
         """
+        plan = self.memo.lookup(runs, self.oio.spec.itemsize)
+        if plan is not None:
+            self.stats.plans_reused += 1
+            return plan
         grid = (self.oio.spec.file_offset, self.oio.spec.itemsize)
-        if self._base_plan is not None and self._base_runs is not None:
-            delta = translation_delta(self._base_runs, runs)
-            if delta is not None and delta % self.oio.spec.itemsize == 0:
-                self.stats.plans_reused += 1
-                return shift_plan(self._base_plan, delta)
         plan = yield from make_plan(ctx, runs, self.file, self.oio.hints,
                                     grid)
-        self._base_plan = plan
-        self._base_runs = runs
+        self.memo.store(runs, plan)
         self.stats.plans_exchanged += 1
         return plan
 

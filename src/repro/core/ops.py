@@ -56,6 +56,12 @@ class MapReduceOp:
     ops_per_element: float = 1.0
     commutative: bool = True
 
+    #: Whether :meth:`map_chunk` consults ``indices``.  Not a dataclass
+    #: field — a plain class attribute overridden by location-aware
+    #: operators, letting callers skip materializing index arrays for
+    #: the (common) value-only operators.
+    needs_indices = False
+
     # -- hooks ------------------------------------------------------------
     def map_chunk(self, values: np.ndarray, indices: IndexInfo = None) -> Any:
         """Map a 1-D value block to a partial result."""
@@ -166,6 +172,8 @@ class MaxLocOp(MapReduceOp):
     name: str = "maxloc"
     ops_per_element: float = 1.5
 
+    needs_indices = True
+
     def map_chunk(self, values: np.ndarray,
                   indices: IndexInfo = None) -> Tuple[float, int]:
         if values.size == 0:
@@ -190,6 +198,8 @@ class MinLocOp(MapReduceOp):
 
     name: str = "minloc"
     ops_per_element: float = 1.5
+
+    needs_indices = True
 
     def map_chunk(self, values: np.ndarray,
                   indices: IndexInfo = None) -> Tuple[float, int]:
@@ -320,6 +330,9 @@ class UserOp(MapReduceOp):
     map_fn: Optional[Callable[[np.ndarray, IndexInfo], Any]] = None
     combine_fn: Optional[Callable[[Any, Any], Any]] = None
     finalize_fn: Optional[Callable[[Any], Any]] = None
+
+    # A user map may do anything with its indices argument.
+    needs_indices = True
 
     def __post_init__(self) -> None:
         if self.map_fn is None or self.combine_fn is None:

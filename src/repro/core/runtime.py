@@ -24,7 +24,6 @@ from typing import Any, Dict, Generator, List, Optional
 
 import numpy as np
 
-from ..dataspace import merge_runlists
 from ..errors import CollectiveComputingError
 from ..io import AccessRequest
 from ..io.twophase import TwoPhasePlan, make_plan
@@ -69,15 +68,12 @@ def _cc_aggregator_loop(ctx: RankContext, file: PFSFile, oio: ObjectIO,
                         stats: Optional[CCStats]) -> Generator:
     """Aggregator side: read window -> map pieces -> shuffle partials."""
     my_windows = plan.windows[agg_idx]
-    global_runs = merge_runlists(plan.all_runs)
     kernel = ctx.kernel
     hints = oio.hints
     op = oio.op
 
-    def issue_read(window):
-        w_lo, w_hi = window
-        needed = global_runs.clip(w_lo, w_hi)
-        r_lo, r_hi = needed.extent()
+    def issue_read(t):
+        r_lo, r_hi = plan.read_span(agg_idx, t)
         return r_lo, kernel.process(
             ctx.fs.read(file, r_lo, r_hi - r_lo, client=ctx.node.index),
             name=f"ccread:r{ctx.rank}@{r_lo}",
@@ -92,8 +88,8 @@ def _cc_aggregator_loop(ctx: RankContext, file: PFSFile, oio: ObjectIO,
         t_map = kernel.now
         partials: List[PartialResult] = []
         total_elements = 0
-        for r in range(ctx.size):
-            pieces = plan.all_runs[r].clip(w_lo, w_hi)
+        for r in plan.window_ranks(agg_idx, t):
+            pieces = plan.window_pieces(r, agg_idx, t)
             partial, elements = map_pieces(oio.spec, op, window_data,
                                            read_lo, pieces, r, t)
             if partial is not None:
@@ -134,7 +130,7 @@ def _cc_aggregator_loop(ctx: RankContext, file: PFSFile, oio: ObjectIO,
         return None
 
     workers = []
-    pending = issue_read(my_windows[0]) if my_windows else None
+    pending = issue_read(0) if my_windows else None
     for t, (w_lo, w_hi) in enumerate(my_windows):
         read_lo, read_proc = pending
         t0 = kernel.now
@@ -150,12 +146,12 @@ def _cc_aggregator_loop(ctx: RankContext, file: PFSFile, oio: ObjectIO,
             # I/O thread streams ahead; map/shuffle catch up concurrently.
             workers.append(worker)
             if t + 1 < len(my_windows):
-                pending = issue_read(my_windows[t + 1])
+                pending = issue_read(t + 1)
         else:
             # Blocking variant: finish this window before the next read.
             yield worker
             if t + 1 < len(my_windows):
-                pending = issue_read(my_windows[t + 1])
+                pending = issue_read(t + 1)
     if workers:
         yield kernel.all_of(workers)
     return None
@@ -177,19 +173,15 @@ def _cc_receiver_all_to_all(ctx: RankContext, oio: ObjectIO,
     leader = node_ranks[0]
     is_leader = ctx.rank == leader
 
-    def ranks_with_data(window) -> List[int]:
-        w_lo, w_hi = window
-        return [r for r in node_ranks if len(plan.all_runs[r].clip(w_lo, w_hi))]
-
     received: List[PartialResult] = []
     if is_leader:
         # (iteration, aggregator) pairs whose window holds data for any
         # rank of this node -> one inbound batch each.
+        node_any = plan.membership[node_ranks].any(axis=0)
         forwards: List = []
         for i, agg_rank in enumerate(plan.aggregators):
-            for t, window in enumerate(plan.windows[i]):
-                locals_with_data = ranks_with_data(window)
-                if not locals_with_data:
+            for t in range(len(plan.windows[i])):
+                if not node_any[plan.flat_index(i, t)]:
                     continue
                 req = ctx.comm.irecv(agg_rank, base_tag + t)
                 msg = yield from ctx.wait_recording(req.event, "wait")
@@ -202,17 +194,13 @@ def _cc_receiver_all_to_all(ctx: RankContext, oio: ObjectIO,
         for req in forwards:
             yield from ctx.wait_recording(req.event, "wait")
     else:
-        my_runs = plan.all_runs[ctx.rank]
-        expected: Dict[int, int] = {}
-        for i in range(len(plan.aggregators)):
-            for t, (w_lo, w_hi) in enumerate(plan.windows[i]):
-                if len(my_runs.clip(w_lo, w_hi)):
-                    expected[t] = expected.get(t, 0) + 1
-        for t in sorted(expected):
-            for _ in range(expected[t]):
-                req = ctx.comm.irecv(leader, base_tag + t)
-                msg = yield from ctx.wait_recording(req.event, "wait")
-                received.append(msg.data)
+        # One forwarded partial per (window, aggregator) holding my
+        # data, in ascending window order — the same schedule the
+        # leader's forwarding loop produces.
+        for t, _agg_rank in plan.receiver_schedule(ctx.rank):
+            req = ctx.comm.irecv(leader, base_tag + t)
+            msg = yield from ctx.wait_recording(req.event, "wait")
+            received.append(msg.data)
     payload = yield from combine_partials(ctx, oio.op, received, stats)
     return payload
 

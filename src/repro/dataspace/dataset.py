@@ -12,6 +12,8 @@ workload builders perform the flip.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Sequence, Tuple
 
@@ -60,7 +62,7 @@ class DatasetSpec:
     @property
     def n_elements(self) -> int:
         """Total element count."""
-        return int(np.prod(self.shape, dtype=np.int64))
+        return math.prod(self.shape)
 
     @property
     def itemsize(self) -> int:

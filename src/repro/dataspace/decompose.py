@@ -8,6 +8,8 @@ processes, 10 slices each).  :func:`block_partition` reproduces that;
 
 from __future__ import annotations
 
+import math
+
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -67,7 +69,7 @@ def grid_partition(sub: Subarray, grid: Sequence[int]) -> List[Subarray]:
             pos += mine
         per_dim.append(spans)
     parts: List[Subarray] = []
-    for flat in range(int(np.prod(grid, dtype=np.int64))):
+    for flat in range(math.prod(grid)):
         idx = []
         rem = flat
         for g in reversed(grid):

@@ -30,12 +30,14 @@ class RunList:
         runs non-overlapping (``offsets[i] + lengths[i] <= offsets[i+1]``).
     """
 
-    __slots__ = ("offsets", "lengths")
+    __slots__ = ("offsets", "lengths", "_sig", "_tb")
 
     def __init__(self, offsets: np.ndarray, lengths: np.ndarray,
                  _validated: bool = False) -> None:
         self.offsets = np.asarray(offsets, dtype=np.int64)
         self.lengths = np.asarray(lengths, dtype=np.int64)
+        self._sig = None
+        self._tb = None
         if not _validated:
             self._validate()
 
@@ -61,14 +63,19 @@ class RunList:
     @classmethod
     def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "RunList":
         """Build from ``(offset, length)`` pairs (any order; zero-length
-        runs dropped; adjacent runs coalesced)."""
+        runs dropped; overlapping pairs unioned; adjacent runs
+        coalesced)."""
         pairs = [(int(o), int(n)) for o, n in pairs if n > 0]
         if not pairs:
             return cls.empty()
         pairs.sort()
+        if pairs[0][0] < 0:
+            raise DataspaceError("run offsets must be non-negative")
         offs = np.array([p[0] for p in pairs], dtype=np.int64)
         lens = np.array([p[1] for p in pairs], dtype=np.int64)
-        return cls(offs, lens).coalesce()
+        if (offs[1:] < (offs + lens)[:-1]).any():
+            return _union_sorted(offs, lens)
+        return cls(offs, lens, _validated=True).coalesce()
 
     @classmethod
     def single(cls, offset: int, length: int) -> "RunList":
@@ -95,10 +102,28 @@ class RunList:
     def __hash__(self):  # pragma: no cover - unhashable by design
         raise TypeError("RunList is unhashable")
 
+    def signature(self) -> int:
+        """A content hash usable as a cache key component.
+
+        ``RunList`` itself is deliberately unhashable (equality is by
+        value, and silent hashing of large arrays would hide cost);
+        caches key on ``signature()`` and must verify candidates with
+        ``==`` — see :func:`repro.io.twophase.make_plan`.
+        """
+        sig = self._sig
+        if sig is None:
+            sig = hash((int(self.offsets.size),
+                        self.offsets.tobytes(), self.lengths.tobytes()))
+            self._sig = sig
+        return sig
+
     @property
     def total_bytes(self) -> int:
-        """Sum of run lengths."""
-        return int(self.lengths.sum()) if len(self) else 0
+        """Sum of run lengths (memoized; run lists are immutable)."""
+        tb = self._tb
+        if tb is None:
+            tb = self._tb = int(np.add.reduce(self.lengths))
+        return tb
 
     def wire_size(self) -> int:
         """Bytes this run list occupies in a message (offset/length pairs
@@ -150,25 +175,33 @@ class RunList:
 
     def split_by_size(self, max_bytes: int) -> List["RunList"]:
         """Greedily cut into consecutive pieces of at most ``max_bytes``
-        each (runs themselves may be split)."""
+        each (runs themselves may be split).
+
+        Piece ``k`` covers request-space bytes ``[k*max_bytes,
+        (k+1)*max_bytes)``; the run indices backing each piece are found
+        with ``searchsorted`` over the cumulative run lengths rather
+        than walking runs one by one.
+        """
         if max_bytes <= 0:
             raise DataspaceError(f"max_bytes must be positive, got {max_bytes}")
+        total = self.total_bytes
+        if not total:
+            return []
+        mb = int(max_bytes)
+        cum = np.concatenate((np.zeros(1, dtype=np.int64),
+                              np.cumsum(self.lengths)))
         pieces: List[RunList] = []
-        cur: List[Tuple[int, int]] = []
-        budget = max_bytes
-        for off, n in self:
-            while n > 0:
-                take = min(n, budget)
-                cur.append((off, take))
-                off += take
-                n -= take
-                budget -= take
-                if budget == 0:
-                    pieces.append(RunList.from_pairs(cur))
-                    cur = []
-                    budget = max_bytes
-        if cur:
-            pieces.append(RunList.from_pairs(cur))
+        for lo in range(0, total, mb):
+            hi = min(total, lo + mb)
+            i0 = int(np.searchsorted(cum[1:], lo, side="right"))
+            i1 = int(np.searchsorted(cum[:-1], hi, side="left"))
+            offs = self.offsets[i0:i1].copy()
+            lens = self.lengths[i0:i1].copy()
+            head = lo - int(cum[i0])
+            offs[0] += head
+            lens[0] -= head
+            lens[-1] -= int(cum[i1]) - hi
+            pieces.append(RunList(offs, lens, _validated=True).coalesce())
         return pieces
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -240,17 +273,21 @@ def merge_runlists(runlists: Sequence[RunList],
                 "rank requests overlap; overlapping collective writes "
                 "are undefined"
             )
-        # Union of intervals: running maximum of the ends.
-        run_end = np.maximum.accumulate(ends)
-        # A new union segment starts where the offset exceeds every
-        # previous end.
-        new_seg = np.ones(len(offs), dtype=bool)
-        new_seg[1:] = offs[1:] > run_end[:-1]
-        seg_idx = np.cumsum(new_seg) - 1
-        n_segs = int(seg_idx[-1]) + 1
-        seg_offs = offs[new_seg]
-        seg_ends = np.zeros(n_segs, dtype=np.int64)
-        np.maximum.at(seg_ends, seg_idx, ends)
-        return RunList(seg_offs, seg_ends - seg_offs,
-                       _validated=True).coalesce()
+        return _union_sorted(offs, lens)
     return RunList(offs, lens, _validated=True).coalesce()
+
+
+def _union_sorted(offs: np.ndarray, lens: np.ndarray) -> RunList:
+    """Union of possibly-overlapping intervals already sorted by offset."""
+    ends = offs + lens
+    # Running maximum of the ends; a new union segment starts where the
+    # offset exceeds every previous end.
+    run_end = np.maximum.accumulate(ends)
+    new_seg = np.ones(len(offs), dtype=bool)
+    new_seg[1:] = offs[1:] > run_end[:-1]
+    seg_idx = np.cumsum(new_seg) - 1
+    n_segs = int(seg_idx[-1]) + 1
+    seg_offs = offs[new_seg]
+    seg_ends = np.zeros(n_segs, dtype=np.int64)
+    np.maximum.at(seg_ends, seg_idx, ends)
+    return RunList(seg_offs, seg_ends - seg_offs, _validated=True).coalesce()

@@ -16,6 +16,8 @@ decomposition; :func:`reconstruct_run` adds the byte↔element conversion.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -40,7 +42,7 @@ class LogicalBlock:
     @property
     def n_elements(self) -> int:
         """Elements covered by the block."""
-        return int(np.prod(self.count, dtype=np.int64))
+        return math.prod(self.count)
 
     def as_subarray(self) -> Subarray:
         """The block as a :class:`Subarray` selection."""
@@ -60,7 +62,7 @@ def _decompose(shape: Tuple[int, ...], e0: int, e1: int,
     ndims = len(shape)
     nfixed = len(prefix)
     ones = (1,) * nfixed
-    total = int(np.prod(shape, dtype=np.int64))
+    total = math.prod(shape)
     if ndims == 1:
         out.append(LogicalBlock(prefix + (e0,), ones + (e1 - e0,)))
         return

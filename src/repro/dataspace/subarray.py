@@ -6,6 +6,8 @@ This is the access-description vocabulary of PnetCDF's
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -45,7 +47,7 @@ class Subarray:
     @property
     def n_elements(self) -> int:
         """Elements selected (product of counts)."""
-        return int(np.prod(self.count, dtype=np.int64)) if self.count else 0
+        return math.prod(self.count) if self.count else 0
 
     @property
     def empty(self) -> bool:

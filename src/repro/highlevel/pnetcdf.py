@@ -15,6 +15,8 @@ provides the same surface on top of the library:
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -77,7 +79,7 @@ def create_dataset(fs: LustreFS, filename: str,
     offset = HEADER_BYTES
     for v in variables:
         dtype = np.dtype(v.dtype)
-        n_elements = int(np.prod(v.shape, dtype=np.int64))
+        n_elements = math.prod(v.shape)
         if v.data is not None:
             arr = np.asarray(v.data, dtype=dtype)
             if arr.shape != tuple(v.shape):

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..cluster import Machine
 from ..dataspace import RunList
 from ..errors import IOLayerError
@@ -125,13 +127,17 @@ def iteration_windows(domain: Tuple[int, int], runs: RunList,
     if ext is None:
         return []
     lo, hi = ext
+    run_ends = mine.offsets + mine.lengths
     windows = []
     pos = lo
     while pos < hi:
         win_hi = snap_down(min(pos + cb_buffer_size, hi), grid)
         if win_hi <= pos or win_hi >= hi:
             win_hi = min(pos + cb_buffer_size, hi)
-        if len(mine.clip(pos, win_hi)):
+        # Window is non-empty iff some run intersects [pos, win_hi) —
+        # same test clip() does, without materializing the clipped list.
+        if (np.searchsorted(run_ends, pos, side="right")
+                < np.searchsorted(mine.offsets, win_hi, side="left")):
             windows.append((pos, win_hi))
         pos = win_hi
     return windows

@@ -98,6 +98,15 @@ class RunPlacer:
                       ) -> List[Tuple[int, int, int]]:
         """Like :meth:`place` but silently skipping bytes that fall in
         holes between runs (used when unpacking sieving windows)."""
+        runs = self.runs
+        if length > 0 and len(runs):
+            # Fast path: two-phase shuffle pieces lie inside one run.
+            idx = int(np.searchsorted(runs.offsets, offset, side="right")) - 1
+            if idx >= 0:
+                run_off = int(runs.offsets[idx])
+                if offset + length <= run_off + int(runs.lengths[idx]):
+                    local = int(self._prefix[idx]) + (offset - run_off)
+                    return [(local, offset, length)]
         clipped = self.runs.clip(offset, offset + length)
         out: List[Tuple[int, int, int]] = []
         for o, n in clipped:

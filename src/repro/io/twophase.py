@@ -22,7 +22,10 @@ an independent read of the same request.
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,7 +45,14 @@ from .requests import AccessRequest, RunPlacer
 class TwoPhasePlan:
     """The deterministic schedule every rank derives after the offset
     exchange: aggregators, their file domains, and per-aggregator
-    iteration windows."""
+    iteration windows.
+
+    Shared derived artifacts (:attr:`global_runs`, the flattened window
+    arrays and the receiver-schedule :attr:`membership` table) are
+    computed lazily once per plan and reused by every rank's aggregator
+    and receiver loops, instead of being re-derived per (rank, window)
+    with O(P²·windows) ``RunList.clip`` calls.
+    """
 
     all_runs: List[RunList]
     aggregators: List[int]
@@ -54,12 +64,145 @@ class TwoPhasePlan:
         """Global iteration count (max over aggregators)."""
         return max((len(w) for w in self.windows), default=0)
 
+    @cached_property
+    def _agg_pos(self) -> Dict[int, int]:
+        return {a: i for i, a in enumerate(self.aggregators)}
+
     def aggregator_index(self, rank: int) -> Optional[int]:
         """Position of ``rank`` in the aggregator list, or None."""
-        try:
-            return self.aggregators.index(rank)
-        except ValueError:
-            return None
+        return self._agg_pos.get(rank)
+
+    # -- shared derived artifacts -----------------------------------------
+    @cached_property
+    def global_runs(self) -> RunList:
+        """Union of every rank's runs (ROMIO's global offset list),
+        merged once per plan instead of inside every aggregator loop."""
+        return merge_runlists(self.all_runs)
+
+    @cached_property
+    def global_runs_strict(self) -> RunList:
+        """Like :attr:`global_runs` but rejecting overlapping requests
+        (the collective-write correctness rule)."""
+        return merge_runlists(self.all_runs, allow_overlap=False)
+
+    @cached_property
+    def _flat_windows(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     np.ndarray, Tuple[int, ...]]:
+        """Every (aggregator, iteration) window flattened in
+        ``(aggregator, t)`` order: ``(agg_idx, t, lo, hi, agg_base)``
+        arrays, where ``agg_base[i]`` is aggregator ``i``'s first flat
+        index."""
+        aggs: List[int] = []
+        ts: List[int] = []
+        lows: List[int] = []
+        highs: List[int] = []
+        base: List[int] = []
+        pos = 0
+        for i, ws in enumerate(self.windows):
+            base.append(pos)
+            for t, (lo, hi) in enumerate(ws):
+                aggs.append(i)
+                ts.append(t)
+                lows.append(lo)
+                highs.append(hi)
+            pos += len(ws)
+        return (np.asarray(aggs, dtype=np.int64),
+                np.asarray(ts, dtype=np.int64),
+                np.asarray(lows, dtype=np.int64),
+                np.asarray(highs, dtype=np.int64),
+                tuple(base))
+
+    def flat_index(self, agg_idx: int, t: int) -> int:
+        """Flat window index of iteration ``t`` of aggregator ``agg_idx``."""
+        return self._flat_windows[4][agg_idx] + t
+
+    @cached_property
+    def membership(self) -> np.ndarray:
+        """The receiver schedule: ``bool[nranks, n_flat_windows]`` — does
+        rank ``r`` request bytes inside flat window ``w``?
+
+        Built once per plan with vectorized ``searchsorted`` over all
+        window boundaries; equivalent to (but far cheaper than) testing
+        ``len(all_runs[r].clip(lo, hi))`` per (rank, window) pair.
+        """
+        _aggs, _ts, lows, highs, _base = self._flat_windows
+        member = np.zeros((len(self.all_runs), lows.size), dtype=bool)
+        if lows.size:
+            for r, rl in enumerate(self.all_runs):
+                if not len(rl):
+                    continue
+                ends = rl.offsets + rl.lengths
+                first = np.searchsorted(ends, lows, side="right")
+                last = np.searchsorted(rl.offsets, highs, side="left")
+                member[r] = last > first
+        return member
+
+    def rank_in_window(self, rank: int, agg_idx: int, t: int) -> bool:
+        """Whether ``rank`` has requested bytes in window ``t`` of
+        aggregator ``agg_idx``."""
+        return bool(self.membership[rank, self.flat_index(agg_idx, t)])
+
+    def window_ranks(self, agg_idx: int, t: int) -> List[int]:
+        """Ranks (ascending) with requested bytes in one window."""
+        col = self.membership[:, self.flat_index(agg_idx, t)]
+        return [int(r) for r in np.flatnonzero(col)]
+
+    def window_pieces(self, rank: int, agg_idx: int, t: int) -> RunList:
+        """``all_runs[rank]`` clipped to window ``t`` of aggregator
+        ``agg_idx``, memoized per plan — the traditional shuffle, the
+        collective-computing map loop and the write path all clip the
+        same (rank, window) pairs against the same immutable run lists."""
+        cache = self.__dict__.setdefault("_window_pieces", {})
+        key = (rank, agg_idx, t)
+        pieces = cache.get(key)
+        if pieces is None:
+            lo, hi = self.windows[agg_idx][t]
+            pieces = cache[key] = self.all_runs[rank].clip(lo, hi)
+        return pieces
+
+    def read_span(self, agg_idx: int, t: int) -> Tuple[int, int]:
+        """Tight ``[first, last)`` byte span of requested data inside
+        window ``t`` of aggregator ``agg_idx`` — what one collective
+        buffer read must fetch.  Memoized per plan (windows are trimmed,
+        so the span always exists)."""
+        cache = self.__dict__.setdefault("_read_spans", {})
+        key = (agg_idx, t)
+        span = cache.get(key)
+        if span is None:
+            lo, hi = self.windows[agg_idx][t]
+            span = cache[key] = self.global_runs.clip(lo, hi).extent()
+        return span
+
+    def receiver_schedule(self, rank: int) -> List[Tuple[int, int]]:
+        """``(t, aggregator_rank)`` pairs for every window holding data
+        of ``rank``, ordered by iteration then aggregator position — the
+        deterministic order the two-phase receiver loop posts receives
+        in."""
+        aggs, ts, _lo, _hi, _base = self._flat_windows
+        mine = np.flatnonzero(self.membership[rank])
+        if not mine.size:
+            return []
+        order = np.lexsort((aggs[mine], ts[mine]))
+        sel = mine[order]
+        return [(int(ts[w]), self.aggregators[int(aggs[w])]) for w in sel]
+
+    def shifted(self, delta: int) -> "TwoPhasePlan":
+        """The plan for a byte-translated access: every run list, domain
+        and window moved by ``delta`` bytes.  Aggregator assignment is
+        unchanged, and the receiver schedule — invariant under a rigid
+        translation — is carried over instead of being rebuilt."""
+        new = TwoPhasePlan(
+            all_runs=[rl.shift(delta) for rl in self.all_runs],
+            aggregators=list(self.aggregators),
+            domains=[(lo + delta, hi + delta) for lo, hi in self.domains],
+            windows=[[(lo + delta, hi + delta) for lo, hi in ws]
+                     for ws in self.windows],
+        )
+        if "membership" in self.__dict__:
+            new.__dict__["membership"] = self.__dict__["membership"]
+        if "global_runs" in self.__dict__:
+            new.__dict__["global_runs"] = self.global_runs.shift(delta)
+        return new
 
     def validate(self) -> None:
         """Check the schedule invariants every consumer relies on.
@@ -71,7 +214,7 @@ class TwoPhasePlan:
         Raises :class:`~repro.errors.IOLayerError` on violation.  Used
         by tests and by the fault-tolerance plan surgery.
         """
-        global_runs = merge_runlists(self.all_runs)
+        global_runs = self.global_runs
         covered = 0
         all_windows: List[Tuple[int, int]] = []
         for i, windows in enumerate(self.windows):
@@ -102,20 +245,49 @@ class TwoPhasePlan:
                 f"requested bytes")
 
 
-def make_plan(ctx: RankContext, my_runs: RunList, file: PFSFile,
-              hints: CollectiveHints,
-              grid: Optional[Tuple[int, int]] = None) -> Generator:
-    """Exchange offset lists and derive the (identical-everywhere)
-    two-phase schedule.  Collective: all ranks must call it.
+#: Process-wide switch for the per-communicator plan-derivation memo.
+#: The memo never skips the (simulated) offset-list exchange — it only
+#: avoids re-deriving the identical schedule on every rank — so event
+#: order and simulated timings are unaffected.  Disable to A/B-test.
+PLAN_CACHE_ENABLED = True
 
-    ``grid`` (``(base, step)``) aligns domain and window boundaries to
-    an element grid — required by collective computing, where the map
-    must see whole elements (plain byte-level I/O leaves it ``None``).
-    """
-    all_runs: List[RunList] = yield from coll.allgather(ctx.comm, my_runs)
+#: Memoized plan derivations a communicator may hold before the least
+#: recently used is evicted.
+PLAN_CACHE_CAPACITY = 32
+
+_PLAN_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _plan_cache_for(comm) -> "OrderedDict":
+    """The plan memo of one communicator (job scope: it dies with the
+    communicator, and machine topology / rank count are fixed within
+    it, so they need not appear in cache keys)."""
+    cache = _PLAN_CACHES.get(comm)
+    if cache is None:
+        cache = OrderedDict()
+        _PLAN_CACHES[comm] = cache
+    return cache
+
+
+def _same_runs(a: List[RunList], b: List[RunList]) -> bool:
+    """Exact equality check guarding against signature collisions.  The
+    common case is object identity: within one collective call the
+    allgather hands every rank references to the same RunList objects."""
+    return all(
+        x is y or (np.array_equal(x.offsets, y.offsets)
+                   and np.array_equal(x.lengths, y.lengths))
+        for x, y in zip(a, b)
+    )
+
+
+def derive_plan(machine, nprocs: int, all_runs: List[RunList],
+                file: PFSFile, hints: CollectiveHints,
+                grid: Optional[Tuple[int, int]] = None) -> TwoPhasePlan:
+    """Pure (communication-free) plan derivation from the allgathered
+    run lists — the work :func:`make_plan` memoizes."""
     global_runs = merge_runlists(all_runs)
     ext = global_runs.extent()
-    aggregators = select_aggregators(ctx.machine, ctx.size,
+    aggregators = select_aggregators(machine, nprocs,
                                      hints.aggregators_per_node)
     if ext is None:
         return TwoPhasePlan(all_runs, aggregators,
@@ -127,7 +299,44 @@ def make_plan(ctx: RankContext, my_runs: RunList, file: PFSFile,
         iteration_windows(dom, global_runs, hints.cb_buffer_size, grid)
         for dom in domains
     ]
-    return TwoPhasePlan(all_runs, aggregators, domains, windows)
+    plan = TwoPhasePlan(all_runs, aggregators, domains, windows)
+    plan.__dict__["global_runs"] = global_runs
+    return plan
+
+
+def make_plan(ctx: RankContext, my_runs: RunList, file: PFSFile,
+              hints: CollectiveHints,
+              grid: Optional[Tuple[int, int]] = None) -> Generator:
+    """Exchange offset lists and derive the (identical-everywhere)
+    two-phase schedule.  Collective: all ranks must call it.
+
+    ``grid`` (``(base, step)``) aligns domain and window boundaries to
+    an element grid — required by collective computing, where the map
+    must see whole elements (plain byte-level I/O leaves it ``None``).
+
+    The offset exchange is always simulated; the *derivation* of the
+    schedule from the exchanged lists is memoized per communicator (all
+    ranks derive the identical plan from the identical inputs, and
+    experiment loops repeat identical requests), keyed by the run-list
+    signatures, hints, grid and stripe alignment.
+    """
+    all_runs: List[RunList] = yield from coll.allgather(ctx.comm, my_runs)
+    if not PLAN_CACHE_ENABLED:
+        return derive_plan(ctx.machine, ctx.size, all_runs, file, hints, grid)
+    stripe = file.layout.stripe_size if hints.align_to_stripes else None
+    cache = _plan_cache_for(ctx.comm.comm)
+    key = (tuple(rl.signature() for rl in all_runs), hints, grid, stripe)
+    hit = cache.get(key)
+    if hit is not None:
+        cached_runs, plan = hit
+        if _same_runs(cached_runs, all_runs):
+            cache.move_to_end(key)
+            return plan
+    plan = derive_plan(ctx.machine, ctx.size, all_runs, file, hints, grid)
+    cache[key] = (all_runs, plan)
+    while len(cache) > PLAN_CACHE_CAPACITY:
+        cache.popitem(last=False)
+    return plan
 
 
 def _extract_pieces(window_data: np.ndarray, window_lo: int,
@@ -147,19 +356,16 @@ def _aggregator_read_loop(ctx: RankContext, file: PFSFile,
     """The aggregator side of a collective read: read windows, shuffle
     pieces to their requesting ranks."""
     my_windows = plan.windows[agg_idx]
-    global_runs = merge_runlists(plan.all_runs)
     kernel = ctx.kernel
 
-    def issue_read(window: Tuple[int, int]):
-        w_lo, w_hi = window
-        needed = global_runs.clip(w_lo, w_hi)
-        r_lo, r_hi = needed.extent()  # windows are trimmed, never empty
+    def issue_read(t: int):
+        r_lo, r_hi = plan.read_span(agg_idx, t)  # windows never empty
         return r_lo, kernel.process(
             ctx.fs.read(file, r_lo, r_hi - r_lo, client=ctx.node.index),
             name=f"cbread:r{ctx.rank}@{r_lo}",
         )
 
-    pending = issue_read(my_windows[0]) if my_windows else None
+    pending = issue_read(0) if my_windows else None
     for t, (w_lo, w_hi) in enumerate(my_windows):
         read_lo, read_proc = pending
         t0 = kernel.now
@@ -167,25 +373,27 @@ def _aggregator_read_loop(ctx: RankContext, file: PFSFile,
         if timeline is not None:
             timeline.record(ctx.rank, t, "read", t0, kernel.now)
         if hints.pipeline and t + 1 < len(my_windows):
-            pending = issue_read(my_windows[t + 1])
+            pending = issue_read(t + 1)
         window_data = np.frombuffer(data, dtype=np.uint8)
         t1 = kernel.now
         sends = []
         copy_bytes = 0
-        for r in range(ctx.size):
-            pieces = plan.all_runs[r].clip(w_lo, w_hi)
-            if not len(pieces):
-                continue
+        for r in plan.window_ranks(agg_idx, t):
+            pieces = plan.window_pieces(r, agg_idx, t)
             payload = _extract_pieces(window_data, read_lo, pieces)
-            copy_bytes += pieces.total_bytes
-            sends.append(ctx.comm.isend(payload, r, base_tag + t))
+            nb = pieces.total_bytes
+            copy_bytes += nb
+            # Closed form of wire_size(payload) for a list of
+            # (int offset, array piece) pairs — skips the recursive walk.
+            sends.append(ctx.comm.isend(payload, r, base_tag + t,
+                                        nbytes=16 + 24 * len(pieces) + nb))
         yield from ctx.memcpy(copy_bytes)
         for req in sends:
             yield from ctx.wait_recording(req.event, "wait")
         if timeline is not None:
             timeline.record(ctx.rank, t, "shuffle", t1, kernel.now)
         if not hints.pipeline and t + 1 < len(my_windows):
-            pending = issue_read(my_windows[t + 1])
+            pending = issue_read(t + 1)
     return None
 
 
@@ -195,36 +403,45 @@ def _receiver_loop(ctx: RankContext, plan: TwoPhasePlan, my_runs: RunList,
     the packed local buffer.  Returns the buffer."""
     placer = RunPlacer(my_runs)
     buf = np.empty(placer.total_bytes, dtype=np.uint8)
-    # Deterministic schedule: which aggregator sends to me at iteration t.
-    expected: Dict[int, List[int]] = {}
-    for i, agg_rank in enumerate(plan.aggregators):
-        for t, (w_lo, w_hi) in enumerate(plan.windows[i]):
-            if len(my_runs.clip(w_lo, w_hi)):
-                expected.setdefault(t, []).append(agg_rank)
-    for t in sorted(expected):
-        for agg_rank in expected[t]:
-            req = ctx.comm.irecv(agg_rank, base_tag + t)
-            msg = yield from ctx.wait_recording(req.event, "wait")
-            pieces = msg.data
-            nbytes = 0
-            for off, piece in pieces:
-                for local, _fo, n in placer.place(off, len(piece)):
-                    buf[local:local + n] = piece[:n]
-                nbytes += len(piece)
-            yield from ctx.memcpy(nbytes)
+    # Deterministic schedule: which aggregator sends to me at iteration
+    # t — precomputed once per plan from the membership table.
+    for t, agg_rank in plan.receiver_schedule(ctx.rank):
+        req = ctx.comm.irecv(agg_rank, base_tag + t)
+        msg = yield from ctx.wait_recording(req.event, "wait")
+        pieces = msg.data
+        nbytes = 0
+        if pieces:
+            # One message carries my_runs clipped to a contiguous file
+            # window, and the packed buffer is in file order — so the
+            # pieces land in a single contiguous span of the buffer.
+            first_off, first_piece = pieces[0]
+            (start, _fo, _n), = placer.place(first_off, len(first_piece))
+            pos = start
+            for _off, piece in pieces:
+                n = len(piece)
+                buf[pos:pos + n] = piece
+                pos += n
+            nbytes = pos - start
+        yield from ctx.memcpy(nbytes)
     return buf
 
 
 def collective_read(ctx: RankContext, file: PFSFile, request: AccessRequest,
                     hints: Optional[CollectiveHints] = None,
-                    timeline: Optional[PhaseTimeline] = None) -> Generator:
+                    timeline: Optional[PhaseTimeline] = None,
+                    plan: Optional[TwoPhasePlan] = None) -> Generator:
     """Two-phase collective read of ``request``.
 
     Collective over the whole communicator.  Returns this rank's packed
     ``uint8`` buffer (convert with :meth:`AccessRequest.as_array`).
+
+    ``plan`` short-circuits the offset exchange with a pre-computed
+    schedule (see :class:`repro.core.plan_cache.PlanMemo`); the caller
+    is responsible for its consistency across ranks.
     """
     hints = hints or CollectiveHints()
-    plan = yield from make_plan(ctx, request.runs, file, hints)
+    if plan is None:
+        plan = yield from make_plan(ctx, request.runs, file, hints)
     ntimes = plan.ntimes
     base_tag = ctx.comm.next_collective_tags(max(ntimes, 1))
     agg_idx = plan.aggregator_index(ctx.rank)
@@ -287,9 +504,9 @@ def _writer_send_loop(ctx: RankContext, plan: TwoPhasePlan, my_runs: RunList,
     placer = RunPlacer(my_runs)
     for i, agg_rank in enumerate(plan.aggregators):
         for t, (w_lo, w_hi) in enumerate(plan.windows[i]):
-            pieces = my_runs.clip(w_lo, w_hi)
-            if not len(pieces):
+            if not plan.rank_in_window(ctx.rank, i, t):
                 continue
+            pieces = plan.window_pieces(ctx.rank, i, t)
             payload = []
             nbytes = 0
             for off, n in pieces:
@@ -297,7 +514,8 @@ def _writer_send_loop(ctx: RankContext, plan: TwoPhasePlan, my_runs: RunList,
                 payload.append((off, flat[local:local + n]))
                 nbytes += n
             yield from ctx.memcpy(nbytes)
-            yield from ctx.comm.send(payload, agg_rank, base_tag + t)
+            yield from ctx.comm.send(payload, agg_rank, base_tag + t,
+                                     nbytes=16 + 24 * len(payload) + nbytes)
     return None
 
 
@@ -305,16 +523,13 @@ def _aggregator_write_loop(ctx: RankContext, file: PFSFile,
                            plan: TwoPhasePlan, agg_idx: int, base_tag: int,
                            timeline: Optional[PhaseTimeline]) -> Generator:
     """Receive pieces for each window, assemble, write coalesced runs."""
-    global_runs = merge_runlists(plan.all_runs, allow_overlap=False)
+    global_runs = plan.global_runs_strict
     kernel = ctx.kernel
     for t, (w_lo, w_hi) in enumerate(plan.windows[agg_idx]):
         needed = global_runs.clip(w_lo, w_hi)
         r_lo, r_hi = needed.extent()
         window = np.zeros(r_hi - r_lo, dtype=np.uint8)
-        senders = [
-            r for r in range(ctx.size)
-            if len(plan.all_runs[r].clip(w_lo, w_hi))
-        ]
+        senders = plan.window_ranks(agg_idx, t)
         t0 = kernel.now
         for r in senders:
             req = ctx.comm.irecv(r, base_tag + t)

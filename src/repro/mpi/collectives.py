@@ -25,6 +25,7 @@ from typing import Any, Generator, List, Optional, Sequence
 from ..errors import MPIError
 from .comm import ANY_SOURCE, CommHandle
 from .op import Op
+from .wire import CONTAINER_OVERHEAD, wire_size
 
 
 def _ceil_log2(n: int) -> int:
@@ -171,15 +172,23 @@ def allgather(comm: CommHandle, value: Any) -> Generator:
     rounds = _ceil_log2(size)
     base_tag = comm.next_collective_tags(max(rounds, 1))
     collected = {rank: value}
+    # Track the dict's wire size incrementally (8 bytes per int key plus
+    # each value, measured once on arrival) instead of re-walking the
+    # whole payload every round — the per-round size grows as 2^k.
+    payload_bytes = 8 + wire_size(value)
     step = 1
     k = 0
     while step < size:
         dst = (rank - step) % size
         src = (rank + step) % size
-        req = comm.isend(dict(collected), dst, base_tag + k)
+        req = comm.isend(dict(collected), dst, base_tag + k,
+                         nbytes=CONTAINER_OVERHEAD + payload_bytes)
         incoming = yield from comm.recv(src, base_tag + k)
         yield req.event
-        collected.update(incoming)
+        for r, v in incoming.items():
+            if r not in collected:
+                collected[r] = v
+                payload_bytes += 8 + wire_size(v)
         step <<= 1
         k += 1
     return [collected[i] for i in range(size)]

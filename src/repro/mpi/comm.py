@@ -42,6 +42,8 @@ MIN_RESERVED_TAG = 1 << 20
 class Message:
     """An in-flight or delivered message."""
 
+    __slots__ = ("source", "dest", "tag", "data", "nbytes")
+
     source: int
     dest: int
     tag: int
@@ -51,6 +53,8 @@ class Message:
 
 @dataclass
 class _PostedRecv:
+    __slots__ = ("source", "tag", "event")
+
     source: int
     tag: int
     event: Event
@@ -133,6 +137,13 @@ class Communicator:
         #: Total messages and payload bytes sent (experiment accounting).
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Rank -> node lookup table (placement is fixed for the life of
+        # the communicator; node_of is on the per-message hot path).
+        self._node_of: List[int] = [
+            self.node_map[r] if self.node_map is not None
+            else machine.node_of_rank(r, nprocs)
+            for r in range(nprocs)
+        ]
 
     # -- helpers -----------------------------------------------------------
     def check_rank(self, rank: int) -> None:
@@ -142,6 +153,9 @@ class Communicator:
 
     def node_of(self, rank: int) -> int:
         """Node hosting ``rank``."""
+        if 0 <= rank < self.nprocs:
+            return self._node_of[rank]
+        # Out of range: fall through for the canonical error.
         if self.node_map is not None:
             self.check_rank(rank)
             return self.node_map[rank]
@@ -242,10 +256,8 @@ class CommHandle:
         pair = (self.rank, dest)
         seq = self.comm._pair_next_out.get(pair, 0)
         self.comm._pair_next_out[pair] = seq + 1
-        proc = self.kernel.process(
-            self.comm._send_proc(msg, seq),
-            name=f"send:{self.rank}->{dest}/{tag}",
-        )
+        proc = self.kernel.process(self.comm._send_proc(msg, seq),
+                                   name="send")
         return Request(proc)
 
     def send(self, data: Any, dest: int, tag: int = 0,
@@ -260,7 +272,7 @@ class CommHandle:
         """Post a nonblocking receive; the request's value is the payload."""
         if source != ANY_SOURCE:
             self.comm.check_rank(source)
-        ev = self.kernel.event(name=f"recv:{self.rank}<-{source}/{tag}")
+        ev = self.kernel.event(name="recv")
         msg = self.comm._match_unexpected(self.rank, source, tag)
         if msg is not None:
             ev.succeed(msg)

@@ -25,6 +25,34 @@ def wire_size(obj: Any) -> int:
     """Bytes a message carrying ``obj`` occupies on the wire."""
     if obj is None:
         return 1
+    # Exact-type fast paths for the hot shuffle payloads (lists/tuples
+    # of offsets and arrays); exotic subclasses fall through to the
+    # general isinstance chain with identical results.
+    cls = type(obj)
+    if cls is int or cls is float:
+        return 8
+    if cls is np.ndarray:
+        return obj.nbytes
+    if cls is tuple or cls is list:
+        total = CONTAINER_OVERHEAD
+        for x in obj:
+            cx = type(x)
+            total += 8 if (cx is int or cx is float) else wire_size(x)
+        return total
+    if cls is dict:
+        total = CONTAINER_OVERHEAD
+        for key, val in obj.items():
+            ck = type(key)
+            total += 8 if (ck is int or ck is float) else wire_size(key)
+            cv = type(val)
+            total += 8 if (cv is int or cv is float) else wire_size(val)
+        return total
+    # Objects measuring themselves (RunList, PartialResult, ...) are the
+    # hot payloads left after the exact-type checks; none of the plain
+    # types below defines a wire_size method, so asking first is safe.
+    size_fn = getattr(obj, "wire_size", None)
+    if size_fn is not None and callable(size_fn):
+        return int(size_fn())
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray, memoryview)):
@@ -34,9 +62,6 @@ def wire_size(obj: Any) -> int:
         return 8
     if isinstance(obj, str):
         return len(obj.encode("utf-8"))
-    size_fn = getattr(obj, "wire_size", None)
-    if callable(size_fn):
-        return int(size_fn())
     if isinstance(obj, (tuple, list, set, frozenset)):
         return CONTAINER_OVERHEAD + sum(wire_size(x) for x in obj)
     if isinstance(obj, dict):

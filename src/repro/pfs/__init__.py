@@ -1,15 +1,15 @@
 """Parallel file system model (Lustre-like: OSTs + round-robin striping)."""
 
-from .datasource import (ArraySource, CompositeSource, DataSource,
-                         ProceduralSource, ZeroSource, default_field,
-                         linear_field)
+from .datasource import (ArraySource, BlockCache, CompositeSource,
+                         DataSource, ProceduralSource, ZeroSource,
+                         default_field, linear_field)
 from .file import PFSFile
 from .lustre import LustreFS
 from .ost import OST
 from .striping import Segment, StripeLayout
 
 __all__ = [
-    "ArraySource", "CompositeSource", "DataSource", "ProceduralSource",
-    "ZeroSource", "default_field", "linear_field",
+    "ArraySource", "BlockCache", "CompositeSource", "DataSource",
+    "ProceduralSource", "ZeroSource", "default_field", "linear_field",
     "PFSFile", "LustreFS", "OST", "Segment", "StripeLayout",
 ]

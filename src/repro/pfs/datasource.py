@@ -17,11 +17,84 @@ internally (a read may start or end mid-element).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import PFSError
+
+#: Elements per cached generation block (2 MiB of float64).  Aligned
+#: blocks make every read of the same file region hit the same cache
+#: entries regardless of request boundaries.
+DEFAULT_BLOCK_ELEMENTS = 1 << 18
+#: Default capacity of the process-global block cache (bytes).
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+class BlockCache:
+    """An LRU cache of generated value blocks.
+
+    Keys identify a block by its generator function, dtype, block
+    geometry and block index, so *every* :class:`ProceduralSource` with
+    the same ``func`` shares entries — the traditional-vs-CC comparison
+    jobs of the experiments each build their own file object over the
+    same synthetic field and would otherwise regenerate every byte.
+    Values are read-only numpy arrays.
+    """
+
+    __slots__ = ("capacity_bytes", "hits", "misses", "_blocks", "_nbytes")
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if capacity_bytes < 0:
+            raise PFSError(f"negative cache capacity {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.hits = 0
+        self.misses = 0
+        self._blocks: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._nbytes = 0
+
+    def get(self, key: Tuple) -> Optional[np.ndarray]:
+        """The cached block for ``key`` (marking it recently used)."""
+        blk = self._blocks.get(key)
+        if blk is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return blk
+
+    def put(self, key: Tuple, block: np.ndarray) -> None:
+        """Insert ``block``, evicting least-recently-used entries to fit."""
+        if block.nbytes > self.capacity_bytes:
+            return
+        old = self._blocks.pop(key, None)
+        if old is not None:
+            self._nbytes -= old.nbytes
+        self._blocks[key] = block
+        self._nbytes += block.nbytes
+        while self._nbytes > self.capacity_bytes:
+            _key, evicted = self._blocks.popitem(last=False)
+            self._nbytes -= evicted.nbytes
+
+    def clear(self) -> None:
+        """Drop every cached block (counters are kept)."""
+        self._blocks.clear()
+        self._nbytes = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held."""
+        return self._nbytes
+
+
+#: The process-global cache new :class:`ProceduralSource` instances use
+#: by default.  Set to ``None`` to disable block caching globally, or
+#: replace with a differently-sized :class:`BlockCache`.
+GLOBAL_BLOCK_CACHE: Optional[BlockCache] = BlockCache()
 
 
 class DataSource:
@@ -65,24 +138,42 @@ class ProceduralSource(DataSource):
         Vectorized generator: maps an ``int64`` index array to values.
         Defaults to :func:`default_field`, a cheap deterministic
         pseudo-random field with enough structure for min/max tasks.
+    block_elements:
+        Granularity of the generation block cache (elements).  Blocks
+        are aligned to multiples of this size within the dataset.
+    cache:
+        ``None`` (default) follows :data:`GLOBAL_BLOCK_CACHE` at read
+        time; ``False`` disables caching for this source; a
+        :class:`BlockCache` instance uses that cache.
+
+    Because ``func`` is required to be a pure function of the index
+    array, blocks are cached keyed by ``(func, dtype, geometry)`` and
+    shared between all sources built over the same field.
     """
 
     def __init__(self, n_elements: int, dtype=np.float64,
-                 func: Callable[[np.ndarray], np.ndarray] | None = None) -> None:
+                 func: Callable[[np.ndarray], np.ndarray] | None = None,
+                 block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+                 cache: "Optional[BlockCache] | bool" = None) -> None:
         if n_elements < 0:
             raise PFSError(f"negative element count {n_elements}")
+        if block_elements < 1:
+            raise PFSError(f"block_elements must be >= 1, got {block_elements}")
         self.dtype = np.dtype(dtype)
         self.n_elements = int(n_elements)
         self.size = self.n_elements * self.dtype.itemsize
         self.func = func if func is not None else default_field
+        self.block_elements = int(block_elements)
+        self._cache_setting = cache
 
-    def values(self, first: int, count: int) -> np.ndarray:
-        """Generate ``count`` elements starting at element index ``first``."""
-        if first < 0 or count < 0 or first + count > self.n_elements:
-            raise PFSError(
-                f"element range [{first}, {first + count}) outside "
-                f"[0, {self.n_elements})"
-            )
+    def _resolve_cache(self) -> Optional[BlockCache]:
+        if self._cache_setting is None:
+            return GLOBAL_BLOCK_CACHE
+        if self._cache_setting is False:
+            return None
+        return self._cache_setting
+
+    def _generate(self, first: int, count: int) -> np.ndarray:
         idx = np.arange(first, first + count, dtype=np.int64)
         out = np.asarray(self.func(idx), dtype=self.dtype)
         if out.shape != (count,):
@@ -91,17 +182,75 @@ class ProceduralSource(DataSource):
             )
         return out
 
-    def read(self, offset: int, nbytes: int) -> bytes:
+    def _block(self, b: int, cache: BlockCache) -> np.ndarray:
+        """The (cached) value block ``b``; read-only array."""
+        be = self.block_elements
+        lo = b * be
+        hi = min(self.n_elements, lo + be)
+        # The block length participates in the key so a shorter final
+        # block of a smaller dataset never aliases a full block of a
+        # larger one built over the same field.
+        key = (self.func, self.dtype.str, be, b, hi - lo)
+        blk = cache.get(key)
+        if blk is None:
+            blk = self._generate(lo, hi - lo)
+            blk.setflags(write=False)
+            cache.put(key, blk)
+        return blk
+
+    def values(self, first: int, count: int) -> np.ndarray:
+        """Generate ``count`` elements starting at element index ``first``."""
+        if first < 0 or count < 0 or first + count > self.n_elements:
+            raise PFSError(
+                f"element range [{first}, {first + count}) outside "
+                f"[0, {self.n_elements})"
+            )
+        cache = self._resolve_cache()
+        if cache is None or count == 0:
+            return self._generate(first, count)
+        be = self.block_elements
+        b0 = first // be
+        b1 = (first + count - 1) // be
+        if b0 == b1:
+            blk = self._block(b0, cache)
+            s = first - b0 * be
+            return blk[s:s + count].copy()
+        out = np.empty(count, dtype=self.dtype)
+        pos = 0
+        for b in range(b0, b1 + 1):
+            blk = self._block(b, cache)
+            s = max(first, b * be) - b * be
+            e = min(first + count, (b + 1) * be) - b * be
+            out[pos:pos + e - s] = blk[s:e]
+            pos += e - s
+        return out
+
+    def read(self, offset: int, nbytes: int) -> memoryview:
+        """Bytes-like view of the range — zero-copy over the generated
+        (or cached) value arrays.  Callers treat the result as read-only
+        bytes; every consumer (``np.frombuffer``, ``bytes.join``,
+        slicing, equality) accepts a memoryview."""
         self._check_range(offset, nbytes)
         if nbytes == 0:
-            return b""
+            return memoryview(b"")
         item = self.dtype.itemsize
         first_el = offset // item
         last_el = (offset + nbytes - 1) // item  # inclusive
-        vals = self.values(first_el, last_el - first_el + 1)
-        raw = vals.tobytes()
+        count = last_el - first_el + 1
         start = offset - first_el * item
-        return raw[start:start + nbytes]
+        cache = self._resolve_cache()
+        if cache is not None:
+            be = self.block_elements
+            b0 = first_el // be
+            if b0 == last_el // be:
+                # Single-block read: view the cached block directly (the
+                # view keeps the array alive across cache eviction).
+                blk = self._block(b0, cache)
+                s = first_el - b0 * be
+                mv = memoryview(blk)[s:s + count].cast("B")
+                return mv[start:start + nbytes]
+        vals = self.values(first_el, count)
+        return memoryview(vals).cast("B")[start:start + nbytes]
 
 
 def default_field(idx: np.ndarray) -> np.ndarray:

@@ -67,7 +67,7 @@ class Process(Event):
         kernel._active_processes += 1
         # Bootstrap: resume the generator for the first time "immediately"
         # (at the current timestamp, after already-queued events).
-        start = Event(kernel, name=f"start:{self.name}")
+        start = Event(kernel, name=self.name)
         start.callbacks.append(self._resume)  # type: ignore[union-attr]
         start.succeed()
 
@@ -120,11 +120,11 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         try:
-            if event.ok:
-                next_event = self._generator.send(event.value)
+            if event._ok:  # processed events always carry _ok
+                next_event = self._generator.send(event._value)
             else:
                 event.defuse()
-                next_event = self._generator.throw(event.value)
+                next_event = self._generator.throw(event._value)
         except StopIteration as stop:
             self._finish(stop.value)
         except BaseException as error:
@@ -138,7 +138,8 @@ class Process(Event):
                 f"{self!r} yielded {target!r}; processes may only yield events"
             ))
             return
-        if target.processed:
+        callbacks = target.callbacks
+        if callbacks is None:  # already processed
             # The event already fired; resume on a fresh carrier so the
             # process continues at the current time without recursion.
             carrier = Event(self.kernel, name="replay")
@@ -150,8 +151,7 @@ class Process(Event):
             self.kernel.schedule(carrier)
             self._waiting_on = carrier
             return
-        assert target.callbacks is not None
-        target.callbacks.append(self._resume)
+        callbacks.append(self._resume)
         self._waiting_on = target
 
     def _finish(self, value: Any) -> None:

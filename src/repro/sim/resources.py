@@ -32,7 +32,9 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, kernel: "Kernel", resource: "Resource") -> None:
-        super().__init__(kernel, name=f"request:{resource.name}")
+        # Plain attribute reference: request events are created on the
+        # per-message hot path, so skip per-instance string formatting.
+        super().__init__(kernel, name=resource.name)
         self.resource = resource
 
 

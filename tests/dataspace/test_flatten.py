@@ -42,6 +42,40 @@ def test_runlist_drops_zero_lengths():
     assert list(rl) == [(10, 3)]
 
 
+def test_runlist_from_pairs_unions_overlaps():
+    # Regression: overlapping pairs must union into valid runs, not
+    # trip the sorted/non-overlapping invariant.
+    rl = RunList.from_pairs([(0, 10), (5, 10)])
+    assert list(rl) == [(0, 15)]
+    # A run fully contained in another.
+    rl = RunList.from_pairs([(0, 20), (5, 5)])
+    assert list(rl) == [(0, 20)]
+    # Duplicates.
+    rl = RunList.from_pairs([(8, 4), (8, 4), (8, 4)])
+    assert list(rl) == [(8, 4)]
+    # Overlap chain across unsorted input, plus a disjoint tail.
+    rl = RunList.from_pairs([(30, 5), (0, 6), (4, 6), (9, 3)])
+    assert list(rl) == [(0, 12), (30, 5)]
+
+
+@given(st.lists(st.tuples(st.integers(0, 200), st.integers(0, 40)),
+                max_size=12))
+@settings(max_examples=200, deadline=None)
+def test_runlist_from_pairs_matches_byte_mask(pairs):
+    rl = RunList.from_pairs(pairs)
+    mask = np.zeros(300, dtype=bool)
+    for off, n in pairs:
+        mask[off:off + n] = True
+    rebuilt = np.zeros(300, dtype=bool)
+    for off, n in rl:
+        assert n > 0
+        rebuilt[off:off + n] = True
+    assert np.array_equal(mask, rebuilt)
+    # Output satisfies the sorted/non-overlapping/coalesced invariant.
+    ends = rl.offsets + rl.lengths
+    assert (rl.offsets[1:] > ends[:-1]).all()
+
+
 def test_runlist_invariant_validation():
     with pytest.raises(DataspaceError):
         RunList(np.array([0, 5]), np.array([10, 5]))  # overlap

@@ -1,0 +1,78 @@
+"""Determinism and cache-equivalence guarantees.
+
+The performance work (block cache, plan cache, plan memo, zero-copy
+reads) must be invisible to results: every figure row is a function of
+the simulated event order alone, and each cache is a pure memoization.
+These tests pin that contract.
+"""
+
+import numpy as np
+
+from repro.experiments import fig09_ratio_speedup
+from repro.io import twophase
+from repro.pfs.datasource import BlockCache, ProceduralSource
+
+
+def rows_of(result):
+    return [list(map(repr, row)) for row in result.rows]
+
+
+def run_fig09():
+    return fig09_ratio_speedup.run(per_rank_mib=0.5,
+                                   ratios=((5, 1), (1, 1), (1, 5)))
+
+
+def test_fig09_twice_bit_identical():
+    a, b = run_fig09(), run_fig09()
+    assert rows_of(a) == rows_of(b)
+    assert [list(map(repr, s)) for s in a.settings] == \
+           [list(map(repr, s)) for s in b.settings]
+
+
+def test_plan_cache_toggle_is_pure_memoization():
+    """Identical rows whether or not make_plan's per-communicator cache
+    is enabled — it memoizes derivation but always simulates the
+    offset exchange, so even simulated *times* must match."""
+    enabled = run_fig09()
+    old = twophase.PLAN_CACHE_ENABLED
+    twophase.PLAN_CACHE_ENABLED = False
+    try:
+        disabled = run_fig09()
+    finally:
+        twophase.PLAN_CACHE_ENABLED = old
+    assert rows_of(enabled) == rows_of(disabled)
+
+
+def field(idx):
+    return np.sin(idx.astype(np.float64) * 0.013) * 7.5
+
+
+def test_block_cache_reads_byte_identical():
+    n = 10_000
+    cached = ProceduralSource(n, np.float64, field, block_elements=256,
+                              cache=BlockCache())
+    raw = ProceduralSource(n, np.float64, field, block_elements=256,
+                           cache=False)
+    # Offsets crossing block boundaries, misaligned starts/ends, full
+    # and empty reads.
+    probes = [(0, 1), (0, 8), (3, 13), (255 * 8, 32), (256 * 8 - 1, 2),
+              (511 * 8 + 5, 4096), (n * 8 - 7, 7), (1234, 0),
+              (0, n * 8)]
+    for offset, nbytes in probes:
+        assert bytes(cached.read(offset, nbytes)) == \
+               bytes(raw.read(offset, nbytes)), (offset, nbytes)
+    # Repeat now that every touched block is warm in the cache.
+    for offset, nbytes in probes:
+        assert bytes(cached.read(offset, nbytes)) == \
+               bytes(raw.read(offset, nbytes)), (offset, nbytes)
+
+
+def test_block_cache_values_byte_identical():
+    cached = ProceduralSource(5_000, np.float64, field, block_elements=128,
+                              cache=BlockCache())
+    raw = ProceduralSource(5_000, np.float64, field, block_elements=128,
+                           cache=False)
+    for first, count in [(0, 1), (0, 128), (100, 300), (127, 2),
+                         (4_999, 1), (0, 5_000)]:
+        np.testing.assert_array_equal(np.asarray(cached.values(first, count)),
+                                      np.asarray(raw.values(first, count)))
