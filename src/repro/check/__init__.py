@@ -1,0 +1,59 @@
+"""repro.check — the verification layer (DESIGN.md §8).
+
+Three coordinated analyzers guard the repo's determinism and protocol
+contracts, runnable together as ``python -m repro.check`` and wired
+into CI:
+
+1. **Determinism lint** (:mod:`repro.check.lint`) — a static AST pass
+   over the library source enforcing the determinism contract.
+2. **Collective-protocol verifier** (:mod:`repro.check.protocol`) — an
+   opt-in runtime sanitizer threaded through
+   :class:`~repro.mpi.comm.CommHandle` and the sim kernel.
+3. **Plan sanitizers** (:mod:`repro.check.plan`) — invariant checks on
+   :class:`~repro.io.twophase.TwoPhasePlan` and
+   :class:`~repro.core.plan_cache.PlanMemo`.
+
+The runtime sanitizers hang off the ``REPRO_CHECK`` environment flag
+(:mod:`repro.check.flags`); the test suite enables them globally.
+
+``protocol`` and ``plan`` are exported lazily: they import the layers
+they verify, and those layers import :mod:`repro.check.flags` — eager
+re-export here would make that a cycle.
+"""
+
+from __future__ import annotations
+
+from .flags import checks_enabled, enable_checks, override_checks
+from .lint import (ALL_RULES, DEFAULT_CONFIG, Finding, LintConfig,
+                   lint_file, lint_paths, lint_source)
+
+__all__ = [
+    "checks_enabled", "enable_checks", "override_checks",
+    "ALL_RULES", "DEFAULT_CONFIG", "Finding", "LintConfig",
+    "lint_file", "lint_paths", "lint_source",
+    "CollectiveLedger", "payload_signature",
+    "check_plan", "check_plan_deep", "check_shuffle_accounting",
+    "check_translation", "check_window_consistency",
+]
+
+_LAZY = {
+    "CollectiveLedger": ("protocol", "CollectiveLedger"),
+    "payload_signature": ("protocol", "payload_signature"),
+    "check_plan": ("plan", "check_plan"),
+    "check_plan_deep": ("plan", "check_plan_deep"),
+    "check_shuffle_accounting": ("plan", "check_shuffle_accounting"),
+    "check_translation": ("plan", "check_translation"),
+    "check_window_consistency": ("plan", "check_window_consistency"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.check' has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,219 @@
+"""``python -m repro.check`` — run the verification layer from the CLI.
+
+Two stages, both on by default:
+
+1. **Static**: the determinism lint over the given paths (default:
+   ``src/repro`` and ``examples`` when run from the repo root, else the
+   installed package directory).
+2. **Runtime smoke**: a small simulated job per protocol feature with
+   ``REPRO_CHECK`` forced on — collective read + write, an iterative
+   sweep through :class:`~repro.core.plan_cache.PlanMemo`, and a full
+   collective battery — so the protocol verifier and the plan
+   sanitizers run against real schedules.
+
+Exit status: 0 clean, 1 findings/sanitizer failure, 2 usage error.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.check            # lint + smoke
+    python -m repro.check src/repro --static-only   # lint only
+    python -m repro.check --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import lint
+from .flags import override_checks
+
+
+def _default_paths() -> List[Path]:
+    """``src/repro`` + ``examples`` from the repo root when present,
+    falling back to wherever the package is installed."""
+    cwd = Path.cwd()
+    candidates = [cwd / "src" / "repro", cwd / "examples"]
+    found = [p for p in candidates if p.is_dir()]
+    if found:
+        return found
+    return [Path(__file__).resolve().parent.parent]
+
+
+def _run_static(paths: Sequence[Path], quiet: bool) -> int:
+    files = lint.iter_python_files(paths)
+    if not files:
+        print(f"repro.check: no Python files under "
+              f"{', '.join(map(str, paths))}", file=sys.stderr)
+        return 2
+    findings = lint.lint_paths(paths)
+    for finding in findings:
+        print(finding.format())
+    if not quiet:
+        status = f"{len(findings)} finding(s)" if findings else "clean"
+        print(f"repro.check lint: {len(files)} file(s), {status}")
+    return 1 if findings else 0
+
+
+def _run_smoke(quiet: bool) -> int:
+    """Drive the runtime sanitizers over real schedules."""
+    import numpy as np
+
+    from ..cluster import Machine
+    from ..config import small_test_machine
+    from ..core import ObjectIO, SUM_OP, object_get
+    from ..core.plan_cache import PlanMemo
+    from ..dataspace import (DatasetSpec, Subarray, block_partition,
+                             full_selection)
+    from ..io import AccessRequest, collective_read, collective_write
+    from ..mpi import collectives as coll, mpi_run
+    from ..mpi.op import SUM
+    from ..pfs import ArraySource
+    from ..sim import Kernel
+
+    failures: List[str] = []
+
+    def scenario(label, fn):
+        try:
+            with override_checks(True):
+                fn()
+        except Exception as exc:  # noqa: BLE001 - reported, not hidden
+            failures.append(f"{label}: {type(exc).__name__}: {exc}")
+        else:
+            if not quiet:
+                print(f"repro.check smoke: {label} ok")
+
+    nprocs = 4
+
+    def _machine() -> Machine:
+        return Machine(Kernel(), small_test_machine(nodes=2,
+                                                    cores_per_node=4))
+
+    def smoke_collectives():
+        machine = _machine()
+
+        def body(ctx):
+            yield from coll.barrier(ctx.comm)
+            values = yield from coll.allgather(ctx.comm, ctx.rank * 10)
+            total = yield from coll.allreduce(
+                ctx.comm, np.full(4, ctx.rank, dtype=np.int64), SUM)
+            part = yield from coll.alltoall(
+                ctx.comm, [f"{ctx.rank}->{d}" for d in range(ctx.size)])
+            return values, total.sum(), part
+        mpi_run(machine, nprocs, body)
+
+    def smoke_read_write():
+        machine = _machine()
+        spec = DatasetSpec((8, 16, 16), np.float64, name="smoke")
+        file = machine.fs.create_procedural_file("smoke.nc", spec.n_elements)
+        parts = block_partition(full_selection(spec), nprocs, axis=1)
+
+        out = machine.fs.create_file(
+            "smoke_out.nc",
+            ArraySource(np.zeros(spec.n_elements, dtype=spec.dtype)))
+
+        def body(ctx):
+            request = AccessRequest.from_subarray(spec, parts[ctx.rank])
+            buf = yield from collective_read(ctx, file, request)
+            data = np.asarray(request.as_array(buf))
+            yield from collective_write(ctx, out, request, data)
+            return float(data.sum())
+        mpi_run(machine, nprocs, body)
+
+    def smoke_object_get():
+        machine = _machine()
+        spec = DatasetSpec((8, 16, 16), np.float64, name="smoke")
+        file = machine.fs.create_procedural_file("smoke.nc", spec.n_elements)
+        parts = block_partition(full_selection(spec), nprocs, axis=1)
+
+        def body(ctx):
+            oio = ObjectIO(spec, parts[ctx.rank], SUM_OP)
+            result = yield from object_get(ctx, file, oio)
+            return result.global_result
+        mpi_run(machine, nprocs, body)
+
+    def smoke_plan_memo():
+        machine = _machine()
+        spec = DatasetSpec((12, 8, 8), np.float64, name="sweep")
+        file = machine.fs.create_procedural_file("sweep.nc", spec.n_elements)
+        parts = block_partition(Subarray((0, 0, 0), (4, 8, 8)),
+                                nprocs, axis=1)
+        memos = [PlanMemo() for _ in range(nprocs)]
+
+        def body(ctx):
+            total = 0.0
+            base = parts[ctx.rank]
+            for step in range(3):
+                sub = Subarray((base.start[0] + step * 4,) + base.start[1:],
+                               base.count)
+                oio = ObjectIO(spec, sub, SUM_OP)
+                result = yield from object_get(ctx, file, oio,
+                                               plan_memo=memos[ctx.rank])
+                if result.global_result is not None:  # root rank only
+                    total += float(result.global_result)
+            return total
+        mpi_run(machine, nprocs, body)
+        if any(m.reuses == 0 for m in memos):
+            raise AssertionError("PlanMemo never reused a translated plan")
+
+    scenario("collective battery", smoke_collectives)
+    scenario("two-phase read+write", smoke_read_write)
+    scenario("collective computing object_get", smoke_object_get)
+    scenario("PlanMemo translated sweep", smoke_plan_memo)
+
+    if failures:
+        for failure in failures:
+            print(f"repro.check smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    if not quiet:
+        print("repro.check smoke: all runtime sanitizers passed")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Determinism lint + runtime sanitizer smoke battery",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint "
+                             "(default: src/repro and examples)")
+    parser.add_argument("--static-only", action="store_true",
+                        help="run only the AST lint")
+    parser.add_argument("--smoke-only", action="store_true",
+                        help="run only the runtime sanitizer battery")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the lint rule ids and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only print findings/failures")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(lint.ALL_RULES):
+            scope = ("event-ordering packages"
+                     if rule in lint.ORDERING_RULES else "all packages")
+            print(f"{rule:18s} {scope}")
+        return 0
+    if args.static_only and args.smoke_only:
+        print("--static-only and --smoke-only are mutually exclusive",
+              file=sys.stderr)
+        return 2
+
+    status = 0
+    if not args.smoke_only:
+        paths = list(args.paths) or _default_paths()
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(f"repro.check: no such path(s): "
+                  f"{', '.join(map(str, missing))}", file=sys.stderr)
+            return 2
+        status = max(status, _run_static(paths, args.quiet))
+    if not args.static_only:
+        status = max(status, _run_smoke(args.quiet))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI glue
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The ``REPRO_CHECK`` switch for the runtime sanitizers.
+
+The collective-protocol verifier (:mod:`repro.check.protocol`) and the
+plan sanitizers (:mod:`repro.check.plan`) are strictly opt-in on the
+hot path: when the flag is off, the only cost anywhere in the library
+is an attribute-is-None test or a call to :func:`checks_enabled`.
+
+The flag is read from the ``REPRO_CHECK`` environment variable once at
+import (``1``/``true``/``yes``/``on`` enable, anything else — including
+unset — disables) and can be flipped programmatically afterwards with
+:func:`enable_checks` or scoped with :func:`override_checks`.  The test
+suite turns it on globally in ``tests/conftest.py``; benchmarks and the
+CI regression gate run with it off.
+
+This module deliberately imports nothing from the rest of the library
+so that any layer (``sim``, ``mpi``, ``io``, ``core``) may consult the
+flag without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Environment variable that enables the runtime sanitizers.
+ENV_VAR = "REPRO_CHECK"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+_ENABLED = _env_enabled()
+
+
+def checks_enabled() -> bool:
+    """Whether the runtime sanitizers are currently on."""
+    return _ENABLED
+
+
+def enable_checks(on: bool = True) -> None:
+    """Turn the runtime sanitizers on or off for this process.
+
+    Only affects objects constructed afterwards where the sanitizer is
+    bound at construction time (e.g. a
+    :class:`~repro.mpi.comm.Communicator` captures its ledger when it
+    is created); per-call checks consult the flag live.
+    """
+    global _ENABLED
+    _ENABLED = bool(on)
+
+
+@contextmanager
+def override_checks(on: Optional[bool]) -> Iterator[None]:
+    """Scoped :func:`enable_checks`; ``None`` leaves the flag untouched
+    (the no-op default every experiment entry point passes through)."""
+    if on is None:
+        yield
+        return
+    previous = _ENABLED
+    enable_checks(on)
+    try:
+        yield
+    finally:
+        enable_checks(previous)

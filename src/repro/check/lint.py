@@ -1,0 +1,334 @@
+"""Determinism lint — a custom AST pass over the library source.
+
+The simulator's contract (DESIGN.md §8) is that a run is a pure
+function of the program: no wall-clock, no unseeded randomness, no
+iteration order borrowed from hash-randomized containers or the file
+system.  These properties are exactly the ones that are easy to break
+silently while refactoring the aggregation/shuffle layers, so this
+module enforces them statically:
+
+``wallclock``
+    No ``time.time``/``perf_counter``/``monotonic``/``datetime.now``
+    (and friends) on event-ordering paths.
+``unseeded-rng``
+    No ``random`` module use and no ``numpy.random`` module-level RNG;
+    ``default_rng(seed)`` with an explicit seed is allowed.
+``set-iteration``
+    No ``for``/comprehension iteration directly over a ``set`` literal
+    or ``set()``/``frozenset()`` call — hash order is randomized across
+    interpreter runs.  Wrap in ``sorted(...)``.
+``listdir-order``
+    No iteration over ``os.listdir``/``os.scandir``/``glob.glob``/
+    ``Path.iterdir`` results without ``sorted(...)`` — directory order
+    is file-system dependent.
+``mutable-default``
+    No mutable default arguments (any package).
+``bare-except``
+    No ``except:`` clauses (any package) — they swallow
+    ``KeyboardInterrupt`` and hide simulator bugs.
+
+Rules are configurable per package (:class:`LintConfig`) and individual
+lines may be waived with an inline ``# repro: allow[rule]`` (or
+``allow[rule1,rule2]``) comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Rules enforced only on event-ordering packages.
+ORDERING_RULES = frozenset({
+    "wallclock", "unseeded-rng", "set-iteration", "listdir-order",
+})
+#: Rules enforced everywhere.
+UNIVERSAL_RULES = frozenset({"mutable-default", "bare-except"})
+#: Every rule id this lint knows.
+ALL_RULES = ORDERING_RULES | UNIVERSAL_RULES
+
+#: ``time``/``datetime`` attributes that read the wall clock.
+_WALLCLOCK_ATTRS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    "now", "utcnow", "today",
+})
+_WALLCLOCK_MODULES = frozenset({"time", "datetime"})
+
+#: Directory-order producers (attribute or bare-name call targets).
+_LISTDIR_FUNCS = frozenset({"listdir", "scandir", "iterdir", "glob", "rglob"})
+
+_WAIVER_RE = re.compile(r"#\s*repro:\s*allow\[([a-z\-,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: [rule] message`` — the CLI output line."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules apply where.
+
+    ``ordered_packages`` are dotted package prefixes whose modules sit
+    on event-ordering paths and therefore get :data:`ORDERING_RULES` on
+    top of the universal ones.  An entry matches a module when it
+    equals the module or is a dotted prefix of it.
+    """
+
+    ordered_packages: Tuple[str, ...] = (
+        "repro.sim", "repro.mpi", "repro.io", "repro.pfs",
+        "repro.core", "repro.cluster", "repro.dataspace",
+        "repro.experiments", "repro.workloads", "repro.highlevel",
+    )
+    universal_rules: FrozenSet[str] = UNIVERSAL_RULES
+    ordering_rules: FrozenSet[str] = ORDERING_RULES
+
+    def rules_for(self, module: str) -> FrozenSet[str]:
+        """The enabled rule set for one dotted module name."""
+        for prefix in self.ordered_packages:
+            if module == prefix or module.startswith(prefix + "."):
+                return self.universal_rules | self.ordering_rules
+        return self.universal_rules
+
+
+DEFAULT_CONFIG = LintConfig()
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of a file, anchored at the ``repro`` package
+    when present (``src/repro/io/twophase.py`` → ``repro.io.twophase``);
+    files outside the package keep their stem (examples, scripts)."""
+    parts = path.with_suffix("").parts
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts)
+
+
+def _parse_waivers(source: str) -> Dict[int, Set[str]]:
+    """Line number → rule ids waived on that line."""
+    waivers: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _WAIVER_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            waivers[lineno] = rules
+    return waivers
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, rules: FrozenSet[str]) -> None:
+        self.path = path
+        self.rules = rules
+        self.findings: List[Finding] = []
+        #: ids of Call nodes appearing directly inside ``sorted(...)``
+        #: (sanctioned directory listings).
+        self._sorted_args: Set[int] = set()
+
+    # -- helpers ---------------------------------------------------------
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule in self.rules:
+            self.findings.append(Finding(
+                self.path, getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0), rule, message))
+
+    @staticmethod
+    def _dotted(node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, else None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    # -- imports ---------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root == "random":
+                self._report(node, "unseeded-rng",
+                             "import of the global 'random' module")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            self.generic_visit(node)
+            return
+        root = node.module.split(".")[0]
+        if root == "random":
+            self._report(node, "unseeded-rng",
+                         "import from the global 'random' module")
+        elif root in _WALLCLOCK_MODULES:
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_ATTRS:
+                    self._report(
+                        node, "wallclock",
+                        f"import of wall-clock '{node.module}.{alias.name}'")
+        elif node.module.startswith("numpy.random"):
+            for alias in node.names:
+                if alias.name not in ("default_rng", "Generator",
+                                      "SeedSequence"):
+                    self._report(
+                        node, "unseeded-rng",
+                        f"import of 'numpy.random.{alias.name}' (use an "
+                        f"explicitly seeded Generator)")
+        elif node.module == "numpy" and any(a.name == "random"
+                                            for a in node.names):
+            self._report(node, "unseeded-rng",
+                         "import of the numpy.random module (shared, "
+                         "unseeded global state)")
+        self.generic_visit(node)
+
+    # -- attribute / call use --------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = self._dotted(node)
+        if dotted is not None:
+            head, _, _tail = dotted.partition(".")
+            if head in _WALLCLOCK_MODULES and \
+                    dotted.split(".")[-1] in _WALLCLOCK_ATTRS:
+                self._report(node, "wallclock",
+                             f"wall-clock read '{dotted}'")
+            elif ".random." in f".{dotted}." and head in ("np", "numpy"):
+                tail = dotted.split(".")[-1]
+                if tail not in ("default_rng", "Generator", "SeedSequence"):
+                    self._report(
+                        node, "unseeded-rng",
+                        f"module-level numpy RNG '{dotted}' (shared, "
+                        f"unseeded state)")
+            elif head == "random":
+                self._report(node, "unseeded-rng",
+                             f"global-RNG call '{dotted}'")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # Mark direct arguments of sorted(...) as order-sanctioned.
+        if isinstance(func, ast.Name) and func.id == "sorted":
+            for arg in node.args:
+                if isinstance(arg, ast.Call):
+                    self._sorted_args.add(id(arg))
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if name in _LISTDIR_FUNCS and id(node) not in self._sorted_args:
+            self._report(
+                node, "listdir-order",
+                f"'{name}(...)' yields file-system order; wrap in sorted(...)")
+        if name == "default_rng" and not node.args and not node.keywords:
+            self._report(node, "unseeded-rng",
+                         "default_rng() without an explicit seed")
+        self.generic_visit(node)
+
+    # -- iteration order --------------------------------------------------
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if isinstance(iter_node, ast.Set):
+            self._report(iter_node, "set-iteration",
+                         "iteration over a set literal (hash order); "
+                         "wrap in sorted(...)")
+        elif isinstance(iter_node, ast.Call) and \
+                isinstance(iter_node.func, ast.Name) and \
+                iter_node.func.id in ("set", "frozenset"):
+            self._report(iter_node, "set-iteration",
+                         f"iteration over {iter_node.func.id}(...) "
+                         f"(hash order); wrap in sorted(...)")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    # -- universal rules ---------------------------------------------------
+    def _check_defaults(self, node) -> None:
+        for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]:
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray"))
+            if bad:
+                self._report(default, "mutable-default",
+                             f"mutable default argument in "
+                             f"'{node.name}' (shared across calls)")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(node, "bare-except",
+                         "bare 'except:' (catches KeyboardInterrupt and "
+                         "masks simulator bugs); name the exception")
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>",
+                module: Optional[str] = None,
+                config: LintConfig = DEFAULT_CONFIG) -> List[Finding]:
+    """Lint one source string; returns findings after waiver filtering."""
+    if module is None:
+        module = module_name_for(Path(path))
+    rules = config.rules_for(module)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, exc.offset or 0,
+                        "syntax", f"cannot parse: {exc.msg}")]
+    visitor = _Visitor(path, rules)
+    visitor.visit(tree)
+    waivers = _parse_waivers(source)
+    if not waivers:
+        return visitor.findings
+    return [f for f in visitor.findings
+            if f.rule not in waivers.get(f.line, ())]
+
+
+def lint_file(path: Path, config: LintConfig = DEFAULT_CONFIG
+              ) -> List[Finding]:
+    """Lint one file."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), module_name_for(path),
+                       config=config)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    out: Set[Path] = set()
+    for p in paths:
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(paths: Sequence[Path],
+               config: LintConfig = DEFAULT_CONFIG) -> List[Finding]:
+    """Lint every Python file under ``paths`` (deterministic order)."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, config=config))
+    return findings

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..check.flags import checks_enabled
 from ..dataspace import RunList
 from ..io.twophase import TwoPhasePlan
 
@@ -79,7 +80,11 @@ class PlanMemo:
         if delta is None or delta % itemsize != 0:
             return None
         self.reuses += 1
-        return self.base_plan if delta == 0 else self.base_plan.shifted(delta)
+        plan = self.base_plan if delta == 0 else self.base_plan.shifted(delta)
+        if checks_enabled():
+            from ..check.plan import check_translation
+            check_translation(self.base_runs, runs, delta, plan)
+        return plan
 
     def store(self, runs: RunList, plan: TwoPhasePlan) -> None:
         """Record a freshly exchanged ``plan`` as the new base."""

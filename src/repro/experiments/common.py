@@ -10,11 +10,13 @@ the Figure-1 workload) — see EXPERIMENTS.md for the calibration notes.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..check.flags import override_checks
 from ..cluster import Machine
 from ..config import CostModel, MiB, PlatformSpec
 from ..core import CCStats, MapReduceOp, ObjectIO, object_get
@@ -39,6 +41,24 @@ PAPER_COST = CostModel(
 #: (4 MiB is the MPICH default the paper quotes).
 DEFAULT_HINTS = CollectiveHints(cb_buffer_size=4 * MiB,
                                 aggregators_per_node=1)
+
+
+def with_sanitizers(run_fn: Callable) -> Callable:
+    """Give an experiment entry point a ``check`` keyword argument.
+
+    ``check=True`` runs the whole experiment under the runtime
+    sanitizers (collective-protocol verifier + plan invariants, see
+    :mod:`repro.check`), ``check=False`` forces them off, and the
+    default ``None`` leaves the process-wide ``REPRO_CHECK`` setting
+    untouched.  Every ``figNN_*.run`` is wrapped with this, so
+    ``python -m repro.experiments <id> --check`` can validate a figure's
+    entire schedule without touching the figure code.
+    """
+    @functools.wraps(run_fn)
+    def wrapper(*args: Any, check: Optional[bool] = None, **kwargs: Any):
+        with override_checks(check):
+            return run_fn(*args, **kwargs)
+    return wrapper
 
 
 def hopper_platform(nodes: int, *, cores_per_node: int = 24,

@@ -24,7 +24,8 @@ from ..core import SUM_OP
 from ..io import CollectiveHints
 from ..workloads.climate import interleaved_workload
 from .common import (DEFAULT_HINTS, ExperimentResult, PAPER_COST,
-                     hopper_platform, run_objectio_job)
+                     hopper_platform, run_objectio_job,
+                     with_sanitizers)
 
 #: The paper's machine shape for this figure.
 NPROCS = 72
@@ -34,6 +35,7 @@ AGGREGATORS_PER_NODE = 6
 N_OSTS = 40
 
 
+@with_sanitizers
 def run(iterations: int = 40, cb_buffer_size: int = 256 * KiB
         ) -> ExperimentResult:
     """Regenerate Figure 1 at a scale of ~``iterations`` iterations per

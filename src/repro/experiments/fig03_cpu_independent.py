@@ -13,11 +13,12 @@ from ..config import KiB
 from ..core import SUM_OP
 from ..io import CollectiveHints
 from ..workloads.climate import interleaved_workload
-from .common import ExperimentResult, hopper_platform, run_objectio_job
+from .common import ExperimentResult, hopper_platform, run_objectio_job, with_sanitizers
 from .fig01_io_profile import (AGGREGATORS_PER_NODE, CORES_PER_NODE, NODES,
                                NPROCS, N_OSTS)
 
 
+@with_sanitizers
 def run(iterations: int = 30, bins: int = 16) -> ExperimentResult:
     """Regenerate Figure 3 (user/sys/wait under independent I/O).
 

@@ -16,7 +16,8 @@ from ..config import MiB
 from ..core import SUM_OP
 from ..workloads.climate import interleaved_workload, ratio_ops_per_element
 from .common import (DEFAULT_HINTS, ExperimentResult, PAPER_COST,
-                     hopper_platform, measure_io_time, run_objectio_job)
+                     hopper_platform, measure_io_time, run_objectio_job,
+                     with_sanitizers)
 
 #: The paper's configuration.
 NPROCS = 120
@@ -27,6 +28,7 @@ RATIOS: Tuple[Tuple[int, int], ...] = (
     (10, 1), (5, 1), (2, 1), (1, 1), (1, 2), (1, 5), (1, 10))
 
 
+@with_sanitizers
 def run(per_rank_mib: float = 2.0,
         ratios: Sequence[Tuple[int, int]] = RATIOS) -> ExperimentResult:
     """Regenerate Figure 9 at ``per_rank_mib`` MiB per process (the

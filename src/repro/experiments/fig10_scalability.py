@@ -18,7 +18,8 @@ from ..config import MiB
 from ..core import SUM_OP
 from ..workloads.climate import interleaved_workload, ratio_ops_per_element
 from .common import (ExperimentResult, PAPER_COST, hopper_platform,
-                     measure_io_time, run_objectio_job)
+                     measure_io_time, run_objectio_job,
+                     with_sanitizers)
 
 #: The paper's process counts.
 PROCESS_COUNTS: Tuple[int, ...] = (24, 48, 120, 240, 480, 1024)
@@ -31,6 +32,7 @@ def _nodes_for(nprocs: int) -> int:
     return max(1, math.ceil(nprocs / 24))
 
 
+@with_sanitizers
 def run(per_rank_mib: float = 1.0,
         process_counts: Sequence[int] = PROCESS_COUNTS) -> ExperimentResult:
     """Regenerate Figure 10 (scaled per-rank request size)."""

@@ -26,7 +26,8 @@ from ..config import MiB
 from ..core import SUM_OP
 from ..workloads.climate import Workload, interleaved_workload
 from ..dataspace import DatasetSpec, block_partition, full_selection
-from .common import (ExperimentResult, hopper_platform, run_objectio_job)
+from .common import (ExperimentResult, hopper_platform, run_objectio_job,
+                     with_sanitizers)
 
 #: Process counts of the figure.
 PROCESS_COUNTS: Tuple[int, ...] = (128, 256, 512)
@@ -61,6 +62,7 @@ def _contiguous_workload(nprocs: int, total_bytes: int) -> Workload:
     return Workload(dspec, gsub, tuple(parts))
 
 
+@with_sanitizers
 def run(total_mib_small: float = 48.0,
         process_counts: Sequence[int] = PROCESS_COUNTS) -> ExperimentResult:
     """Regenerate Figure 11; ``total_mib_small`` stands in for the

@@ -26,7 +26,7 @@ from ..core import SUM_OP
 from ..dataspace import DatasetSpec, Subarray
 from ..io import CollectiveHints
 from ..workloads.climate import Workload
-from .common import ExperimentResult, hopper_platform, run_objectio_job
+from .common import ExperimentResult, hopper_platform, run_objectio_job, with_sanitizers
 
 #: Buffer sizes of the paper's sweep (MB).
 BUFFER_SIZES_MB: Tuple[int, ...] = (1, 4, 8, 12, 24)
@@ -56,6 +56,7 @@ def _varied_subset_workload(nprocs: int, scale: float) -> Workload:
     return Workload(dspec, gsub, tuple(parts))
 
 
+@with_sanitizers
 def run(scale: float = 1.0,
         buffer_sizes_mb: Sequence[int] = BUFFER_SIZES_MB
         ) -> ExperimentResult:

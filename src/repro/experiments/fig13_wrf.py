@@ -29,7 +29,7 @@ from ..mpi import mpi_run
 from ..sim import Kernel
 from ..workloads.wrf import HurricaneGrid, hurricane_workload
 from ..io import CollectiveHints
-from .common import DEFAULT_HINTS, ExperimentResult, hopper_platform
+from .common import DEFAULT_HINTS, ExperimentResult, hopper_platform, with_sanitizers
 
 NPROCS = 96
 NODES = 4
@@ -71,6 +71,7 @@ def _run_task(grid: HurricaneGrid, gsub, parts, *, variable: str, op,
     return kernel.now, results[0], stats
 
 
+@with_sanitizers
 def run(scale: float = 0.04,
         sizes: Sequence[Tuple[int, float]] = SIZE_LABELS,
         task: str = "min_slp") -> ExperimentResult:

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from ..workloads import incite
-from .common import ExperimentResult
+from .common import ExperimentResult, with_sanitizers
 
 
+@with_sanitizers
 def run() -> ExperimentResult:
     """Regenerate the paper's Table I."""
     return ExperimentResult(

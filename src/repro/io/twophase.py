@@ -30,9 +30,11 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..check.flags import checks_enabled
 from ..dataspace import RunList, merge_runlists
 from ..errors import IOLayerError
 from ..mpi import RankContext, collectives as coll
+from ..mpi.wire import wire_size
 from ..pfs import PFSFile
 from ..profiling import PhaseTimeline
 from .aggregation import (iteration_windows, partition_file_domains,
@@ -301,6 +303,9 @@ def derive_plan(machine, nprocs: int, all_runs: List[RunList],
     ]
     plan = TwoPhasePlan(all_runs, aggregators, domains, windows)
     plan.__dict__["global_runs"] = global_runs
+    if checks_enabled():
+        from ..check.plan import check_plan_deep
+        check_plan_deep(plan)
     return plan
 
 
@@ -357,6 +362,7 @@ def _aggregator_read_loop(ctx: RankContext, file: PFSFile,
     pieces to their requesting ranks."""
     my_windows = plan.windows[agg_idx]
     kernel = ctx.kernel
+    checking = checks_enabled()
 
     def issue_read(t: int):
         r_lo, r_hi = plan.read_span(agg_idx, t)  # windows never empty
@@ -385,8 +391,14 @@ def _aggregator_read_loop(ctx: RankContext, file: PFSFile,
             copy_bytes += nb
             # Closed form of wire_size(payload) for a list of
             # (int offset, array piece) pairs — skips the recursive walk.
+            nbytes = 16 + 24 * len(pieces) + nb
+            if checking and nbytes != wire_size(payload):
+                raise IOLayerError(
+                    f"shuffle wire-size accounting drifted: closed form "
+                    f"{nbytes} != measured {wire_size(payload)} for "
+                    f"rank {r}, window {t} of aggregator {agg_idx}")
             sends.append(ctx.comm.isend(payload, r, base_tag + t,
-                                        nbytes=16 + 24 * len(pieces) + nb))
+                                        nbytes=nbytes))
         yield from ctx.memcpy(copy_bytes)
         for req in sends:
             yield from ctx.wait_recording(req.event, "wait")
@@ -502,6 +514,7 @@ def _writer_send_loop(ctx: RankContext, plan: TwoPhasePlan, my_runs: RunList,
                       flat: np.ndarray, base_tag: int) -> Generator:
     """Send my pieces of each (aggregator, iteration) window."""
     placer = RunPlacer(my_runs)
+    checking = checks_enabled()
     for i, agg_rank in enumerate(plan.aggregators):
         for t, (w_lo, w_hi) in enumerate(plan.windows[i]):
             if not plan.rank_in_window(ctx.rank, i, t):
@@ -514,8 +527,14 @@ def _writer_send_loop(ctx: RankContext, plan: TwoPhasePlan, my_runs: RunList,
                 payload.append((off, flat[local:local + n]))
                 nbytes += n
             yield from ctx.memcpy(nbytes)
+            wire = 16 + 24 * len(payload) + nbytes
+            if checking and wire != wire_size(payload):
+                raise IOLayerError(
+                    f"write shuffle wire-size accounting drifted: closed "
+                    f"form {wire} != measured {wire_size(payload)} for "
+                    f"window {t} of aggregator {i}")
             yield from ctx.comm.send(payload, agg_rank, base_tag + t,
-                                     nbytes=16 + 24 * len(payload) + nbytes)
+                                     nbytes=wire)
     return None
 
 

@@ -37,6 +37,7 @@ def _ceil_log2(n: int) -> int:
 
 def barrier(comm: CommHandle) -> Generator:
     """Dissemination barrier: no rank leaves before all have entered."""
+    comm.trace_collective("barrier")
     size, rank = comm.size, comm.rank
     rounds = _ceil_log2(size)
     base_tag = comm.next_collective_tags(max(rounds, 1))
@@ -53,6 +54,7 @@ def barrier(comm: CommHandle) -> Generator:
 
 def bcast(comm: CommHandle, data: Any, root: int = 0) -> Generator:
     """Binomial-tree broadcast; returns the broadcast value on all ranks."""
+    comm.trace_collective("bcast", data)
     size, rank = comm.size, comm.rank
     comm.comm.check_rank(root)
     tag = comm.next_collective_tags(1)
@@ -86,6 +88,7 @@ def reduce(comm: CommHandle, value: Any, op: Op, root: int = 0) -> Generator:
     tree merge (lower rank's value on the left), matching MPI's
     canonical-order guarantee for binomial trees.
     """
+    comm.trace_collective("reduce", value)
     size, rank = comm.size, comm.rank
     comm.comm.check_rank(root)
     tag = comm.next_collective_tags(1)
@@ -112,6 +115,7 @@ def reduce(comm: CommHandle, value: Any, op: Op, root: int = 0) -> Generator:
 
 def allreduce(comm: CommHandle, value: Any, op: Op) -> Generator:
     """Reduce to rank 0, then broadcast the result to everyone."""
+    comm.trace_collective("allreduce", value)
     reduced = yield from reduce(comm, value, op, root=0)
     result = yield from bcast(comm, reduced, root=0)
     return result
@@ -120,6 +124,7 @@ def allreduce(comm: CommHandle, value: Any, op: Op) -> Generator:
 def gather(comm: CommHandle, value: Any, root: int = 0) -> Generator:
     """Linear gather; ``root`` returns the list of per-rank values in
     rank order, other ranks return ``None``."""
+    comm.trace_collective("gather", value)
     size, rank = comm.size, comm.rank
     comm.comm.check_rank(root)
     tag = comm.next_collective_tags(1)
@@ -138,6 +143,7 @@ def gather(comm: CommHandle, value: Any, root: int = 0) -> Generator:
 def scatter(comm: CommHandle, values: Optional[Sequence[Any]],
             root: int = 0) -> Generator:
     """Linear scatter; every rank returns its element of the root's list."""
+    comm.trace_collective("scatter")
     size, rank = comm.size, comm.rank
     comm.comm.check_rank(root)
     tag = comm.next_collective_tags(1)
@@ -168,6 +174,7 @@ def allgather(comm: CommHandle, value: Any) -> Generator:
     dict merge absorbs duplicates), exactly like the classic algorithm's
     remainder step.
     """
+    comm.trace_collective("allgather", value)
     size, rank = comm.size, comm.rank
     rounds = _ceil_log2(size)
     base_tag = comm.next_collective_tags(max(rounds, 1))
@@ -199,6 +206,7 @@ def allgather_ring(comm: CommHandle, value: Any) -> Generator:
     bandwidth-optimal without payload duplication.  Kept for workloads
     where per-rank payloads are large; semantics identical to
     :func:`allgather`."""
+    comm.trace_collective("allgather_ring", value)
     size, rank = comm.size, comm.rank
     tag = comm.next_collective_tags(1)
     out: List[Any] = [None] * size
@@ -225,6 +233,7 @@ def scan(comm: CommHandle, value: Any, op: Op) -> Generator:
     Recursive-doubling: round ``k`` exchanges partial prefixes with the
     rank ``2^k`` away; ⌈log2 P⌉ rounds.
     """
+    comm.trace_collective("scan", value)
     size, rank = comm.size, comm.rank
     rounds = _ceil_log2(size)
     base_tag = comm.next_collective_tags(max(rounds, 1))
@@ -251,6 +260,7 @@ def scan(comm: CommHandle, value: Any, op: Op) -> Generator:
 def exscan(comm: CommHandle, value: Any, op: Op) -> Generator:
     """Exclusive prefix reduction (``MPI_Exscan``): rank ``r`` returns
     the combination of ranks ``0..r-1`` (``None`` on rank 0)."""
+    comm.trace_collective("exscan", value)
     size, rank = comm.size, comm.rank
     rounds = _ceil_log2(size)
     base_tag = comm.next_collective_tags(max(rounds, 1))
@@ -281,6 +291,7 @@ def reduce_scatter_block(comm: CommHandle, values: Sequence[Any],
     Implemented as reduce-to-root + scatter (MPICH's small-message
     fallback); returns this rank's reduced element.
     """
+    comm.trace_collective("reduce_scatter_block", values)
     size = comm.size
     if len(values) != size:
         raise MPIError(f"reduce_scatter needs exactly {size} values")
@@ -301,6 +312,7 @@ def alltoall(comm: CommHandle, values: Sequence[Any]) -> Generator:
     Payloads may differ in size per destination (the ``alltoallv``
     case).  Returns the list where element ``s`` came from rank ``s``.
     """
+    comm.trace_collective("alltoall", values)
     size, rank = comm.size, comm.rank
     if len(values) != size:
         raise MPIError(f"alltoall needs exactly {size} payloads")

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
+from ..check.flags import checks_enabled
 from ..cluster import Machine
 from ..errors import MPIError
 from ..sim import Event, Kernel
@@ -65,29 +66,74 @@ class Request:
 
     Yield :attr:`event` (or use :meth:`wait`) inside a rank process to
     block until completion; for receives the event's value is the
-    payload.
+    payload.  :meth:`wait` may be driven more than once; every wait
+    after completion returns the same payload immediately.
     """
 
-    __slots__ = ("event", "_comm")
+    __slots__ = ("event", "_posted_in", "_posted")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, posted_in: Optional[List["_PostedRecv"]] = None,
+                 posted: Optional["_PostedRecv"] = None) -> None:
         self.event = event
+        # Set only for still-unmatched receives: the posting list and
+        # the entry itself, so cancel() can withdraw it.
+        self._posted_in = posted_in
+        self._posted = posted
 
     @property
     def complete(self) -> bool:
         """Whether the operation has finished."""
         return self.event.processed
 
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` withdrew this receive."""
+        ev = self.event
+        return ev.triggered and ev._ok is True and ev._value is _CANCELLED
+
+    def cancel(self) -> bool:
+        """Withdraw a not-yet-matched receive (``MPI_Cancel``).
+
+        Returns True when the receive was withdrawn: the request
+        completes immediately and waiting on it yields ``None``.
+        Returns False when the operation already completed (or was
+        already cancelled) — cancellation raced and lost, exactly like
+        MPI's semantics.  Raises :class:`MPIError` for requests that are
+        not cancellable (sends, collective-I/O requests): their effects
+        are already in flight on other ranks.
+        """
+        if self.event.triggered:
+            return False
+        if self._posted is None:
+            raise MPIError(
+                "only a pending receive can be cancelled; send and "
+                "collective requests are already visible to other ranks")
+        try:
+            self._posted_in.remove(self._posted)
+        except ValueError:  # pragma: no cover - matched this instant
+            return False
+        self._posted = None
+        self._posted_in = None
+        self.event.succeed(_CANCELLED)
+        return True
+
     def wait(self) -> Generator:
         """Generator: wait for completion, returning the payload.
 
         For receive requests the raw :class:`Message` envelope is
-        unwrapped to its ``data``; send requests return ``None``.
+        unwrapped to its ``data``; send requests and cancelled receives
+        return ``None``.
         """
         value = yield self.event
         if isinstance(value, Message):
             return value.data
+        if value is _CANCELLED:
+            return None
         return value
+
+
+#: Sentinel payload of a cancelled receive (distinct from a None message).
+_CANCELLED = object()
 
 
 class Communicator:
@@ -137,6 +183,16 @@ class Communicator:
         #: Total messages and payload bytes sent (experiment accounting).
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Collective-protocol verifier (:mod:`repro.check.protocol`),
+        #: attached when ``REPRO_CHECK`` is on at construction.  With it
+        #: off (the default) each collective call pays one is-None test.
+        self.sanitizer = None
+        if checks_enabled():
+            from ..check.protocol import CollectiveLedger
+            self.sanitizer = CollectiveLedger(self.id, nprocs)
+        # Deadlock reports always include this communicator's pending
+        # receives (zero cost until a deadlock is being diagnosed).
+        kernel.watch_deadlocks(self)
         # Rank -> node lookup table (placement is fixed for the life of
         # the communicator; node_of is on the per-message hot path).
         self._node_of: List[int] = [
@@ -214,6 +270,13 @@ class Communicator:
         """Ranks with posted-but-unmatched receives (debug aid)."""
         return sum(1 for p in self._posted if p)
 
+    def describe_blocked(self) -> List[str]:
+        """Per-rank blocked-state lines for deadlock reports: pending
+        receives with source/tag, the wait-for cycle when one exists,
+        and (with the sanitizer on) each rank's last collective."""
+        from ..check.protocol import describe_blocked
+        return describe_blocked(self, MIN_RESERVED_TAG)
+
 
 class CommHandle:
     """One rank's endpoint of a :class:`Communicator`.
@@ -276,9 +339,11 @@ class CommHandle:
         msg = self.comm._match_unexpected(self.rank, source, tag)
         if msg is not None:
             ev.succeed(msg)
-        else:
-            self.comm._posted[self.rank].append(_PostedRecv(source, tag, ev))
-        return Request(ev)
+            return Request(ev)
+        posted = _PostedRecv(source, tag, ev)
+        posted_in = self.comm._posted[self.rank]
+        posted_in.append(posted)
+        return Request(ev, posted_in, posted)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Blocking receive; returns the payload."""
@@ -321,6 +386,19 @@ class CommHandle:
         return registry[group_key].handle(newrank)
 
     # -- misc ---------------------------------------------------------------
+    def trace_collective(self, op: str, payload: Any = None) -> None:
+        """Report one collective call site to the protocol verifier.
+
+        Called by every function in :mod:`repro.mpi.collectives` on
+        entry.  With the sanitizer detached (the default) this is a
+        single attribute test; with it attached the ledger validates
+        op name, per-comm sequence number and payload signature against
+        the other ranks and raises :class:`MPIError` on divergence.
+        """
+        sanitizer = self.comm.sanitizer
+        if sanitizer is not None:
+            sanitizer.record(self.rank, op, payload)
+
     def next_collective_tags(self, n_tags: int = 1) -> int:
         """Reserve ``n_tags`` consecutive internal tags for one collective
         call; returns the first tag.  Must be invoked in identical order

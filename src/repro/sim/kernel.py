@@ -17,7 +17,8 @@ orders and therefore identical timings and results.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+import weakref
+from typing import Any, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..errors import DeadlockError, SimulationError
 from .events import AllOf, AnyOf, Event, Timeout, NORMAL, URGENT
@@ -47,6 +48,13 @@ class Kernel:
         #: Number of live (not yet finished) processes; used for deadlock
         #: detection when the queue drains.
         self._active_processes = 0
+        #: The live processes themselves, for the deadlock report's
+        #: per-process blocked-state lines.
+        self._live_processes: Set[Process] = set()
+        #: Weakly-held objects (communicators, resources) consulted for
+        #: extra blocked-state lines when a deadlock is diagnosed.  Zero
+        #: cost until the failure path runs.
+        self._deadlock_watchers: List["weakref.ref"] = []
 
     # -- clock -----------------------------------------------------------
     @property
@@ -138,11 +146,45 @@ class Kernel:
                     return self._now
                 self.step()
         if self._active_processes > 0:
-            raise DeadlockError(
-                f"simulation deadlocked at t={self._now}: "
-                f"{self._active_processes} process(es) still waiting"
-            )
+            raise DeadlockError(self._deadlock_message())
         return self._now
+
+    # -- deadlock diagnostics ----------------------------------------------
+    def watch_deadlocks(self, watcher: Any) -> None:
+        """Register an object whose ``describe_blocked()`` lines should
+        appear in :class:`~repro.errors.DeadlockError` messages.
+
+        Held weakly: watchers (communicators, resources) may die before
+        the kernel.  Cost is one list append at registration; nothing
+        is consulted until a deadlock is actually being reported.
+        """
+        self._deadlock_watchers.append(weakref.ref(watcher))
+
+    def _deadlock_message(self, max_lines: int = 24) -> str:
+        """Compose the deadlock report: the headline, each live
+        process's name and the event it is waiting on, then whatever
+        the registered watchers know (per-rank pending receives with
+        tags, wait-for cycles)."""
+        lines = [
+            f"simulation deadlocked at t={self._now}: "
+            f"{self._active_processes} process(es) still waiting"
+        ]
+        blocked = sorted(self._live_processes,
+                         key=lambda p: (p.name or "", id(p)))
+        for proc in blocked[:max_lines]:
+            target = proc.waiting_on
+            waiting = repr(target) if target is not None else "nothing (never resumed)"
+            lines.append(f"  process {proc.name or '<anonymous>'!r} "
+                         f"waiting on {waiting}")
+        if len(blocked) > max_lines:
+            lines.append(f"  ... and {len(blocked) - max_lines} more process(es)")
+        for ref in self._deadlock_watchers:
+            watcher = ref()
+            if watcher is None:
+                continue
+            for line in watcher.describe_blocked():
+                lines.append(f"  {line}")
+        return "\n".join(lines)
 
     def run_process(self, generator: Generator, name: Optional[str] = None) -> Any:
         """Convenience: start ``generator`` as a process, run to completion,

@@ -65,6 +65,7 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         kernel._active_processes += 1
+        kernel._live_processes.add(self)
         # Bootstrap: resume the generator for the first time "immediately"
         # (at the current timestamp, after already-queued events).
         start = Event(kernel, name=self.name)
@@ -76,6 +77,12 @@ class Process(Event):
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
         return not self.triggered
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event this process is currently blocked on (None when
+        finished or between resumptions); used by deadlock reports."""
+        return self._waiting_on
 
     # -- control -----------------------------------------------------------
     def interrupt(self, cause: Any = None) -> None:
@@ -156,8 +163,10 @@ class Process(Event):
 
     def _finish(self, value: Any) -> None:
         self.kernel._active_processes -= 1
+        self.kernel._live_processes.discard(self)
         self.succeed(value)
 
     def _crash(self, error: BaseException) -> None:
         self.kernel._active_processes -= 1
+        self.kernel._live_processes.discard(self)
         self.fail(error)

@@ -1,0 +1,63 @@
+"""``python -m repro.check`` CLI tests: exit codes, rule listing, and
+the repo-wide clean contract CI relies on."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.check.__main__ import main
+from repro.check.lint import ALL_RULES
+
+PKG = Path(repro.__file__).parent
+
+
+def test_static_pass_on_the_shipped_package(capsys):
+    assert main([str(PKG), "--static-only"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_quiet_suppresses_the_summary(capsys):
+    assert main([str(PKG), "--static-only", "-q"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_static_failure_on_seeded_violation(tmp_path, capsys):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nt = time.time()\n")
+    assert main([str(tmp_path), "--static-only"]) == 1
+    out = capsys.readouterr().out
+    assert "[wallclock]" in out
+    assert "bad.py:2:" in out
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert main([str(PKG / "no_such_dir"), "--static-only"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_empty_directory_is_a_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path), "--static-only"]) == 2
+    assert "no Python files" in capsys.readouterr().err
+
+
+def test_mutually_exclusive_stage_flags(capsys):
+    assert main(["--static-only", "--smoke-only"]) == 2
+
+
+def test_list_rules_names_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule in out
+
+
+@pytest.mark.slow
+def test_smoke_battery_is_clean(capsys):
+    """The runtime half of the CI gate: every sanitizer scenario passes
+    against real simulated schedules."""
+    assert main(["--smoke-only"]) == 0
+    out = capsys.readouterr().out
+    assert "all runtime sanitizers passed" in out

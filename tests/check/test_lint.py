@@ -1,0 +1,111 @@
+"""Determinism-lint unit tests: each rule fires on seeded violations,
+stays quiet on sanctioned idioms, and respects scoping and waivers."""
+
+from pathlib import Path
+
+from repro.check.lint import (ALL_RULES, LintConfig, ORDERING_RULES,
+                              UNIVERSAL_RULES, lint_paths, lint_source,
+                              module_name_for)
+
+SIM = "repro.sim.kernel"          # event-ordering package
+OUTSIDE = "repro.profiling.meter"  # not on an event-ordering path
+
+
+def rules(src, module=SIM):
+    return [f.rule for f in lint_source(src, module=module)]
+
+
+def test_wallclock_read_flagged_on_ordering_path():
+    assert rules("import time\nt = time.time()\n") == ["wallclock"]
+    assert rules("from datetime import datetime\nd = datetime.now()\n"
+                 ) == ["wallclock"]
+
+
+def test_wallclock_import_from_flagged():
+    assert "wallclock" in rules("from time import perf_counter\n")
+
+
+def test_wallclock_allowed_outside_ordering_packages():
+    assert rules("import time\nt = time.time()\n", module=OUTSIDE) == []
+
+
+def test_unseeded_rng_flagged():
+    assert rules("import random\n") == ["unseeded-rng"]
+    assert "unseeded-rng" in rules("import numpy as np\nx = np.random.rand(3)\n")
+    assert "unseeded-rng" in rules(
+        "from numpy.random import default_rng\nr = default_rng()\n")
+
+
+def test_seeded_generator_allowed():
+    assert rules("from numpy.random import default_rng\n"
+                 "r = default_rng(1234)\n") == []
+
+
+def test_set_iteration_flagged_and_sorted_sanctioned():
+    assert rules("for x in {1, 2, 3}:\n    pass\n") == ["set-iteration"]
+    assert "set-iteration" in rules("out = [x for x in set(items)]\n")
+    assert rules("for x in sorted({1, 2, 3}):\n    pass\n") == []
+
+
+def test_listdir_flagged_and_sorted_sanctioned():
+    assert rules("import os\nfor f in os.listdir(p):\n    pass\n"
+                 ) == ["listdir-order"]
+    assert rules("import os\nfor f in sorted(os.listdir(p)):\n    pass\n"
+                 ) == []
+
+
+def test_universal_rules_apply_everywhere():
+    bad = "def f(x, acc=[]):\n    acc.append(x)\n    return acc\n"
+    assert rules(bad, module=OUTSIDE) == ["mutable-default"]
+    assert rules("try:\n    f()\nexcept:\n    pass\n", module=OUTSIDE
+                 ) == ["bare-except"]
+
+
+def test_inline_waiver_suppresses_one_line():
+    src = ("import time\n"
+           "t0 = time.time()  # repro: allow[wallclock]\n"
+           "t1 = time.time()\n")
+    findings = lint_source(src, module=SIM)
+    assert [f.line for f in findings] == [3]
+
+
+def test_waiver_is_rule_specific():
+    src = "t0 = time.time()  # repro: allow[unseeded-rng]\n"
+    assert rules("import time\n" + src) == ["wallclock"]
+
+
+def test_finding_format_is_clickable():
+    (finding,) = lint_source("import random\n", path="src/repro/sim/x.py",
+                             module=SIM)
+    assert finding.format() == ("src/repro/sim/x.py:1:0: "
+                                "[unseeded-rng] import of the global "
+                                "'random' module")
+
+
+def test_module_name_anchors_at_repro():
+    assert module_name_for(Path("src/repro/io/twophase.py")) == \
+        "repro.io.twophase"
+    assert module_name_for(Path("examples/demo.py")) == "demo"
+
+
+def test_config_scoping_is_prefix_based():
+    cfg = LintConfig(ordered_packages=("repro.sim",))
+    assert cfg.rules_for("repro.sim.kernel") == \
+        UNIVERSAL_RULES | ORDERING_RULES
+    assert cfg.rules_for("repro.simulator") == UNIVERSAL_RULES
+    assert cfg.rules_for("repro.io.twophase") == UNIVERSAL_RULES
+
+
+def test_rule_registry_is_partitioned():
+    assert ORDERING_RULES | UNIVERSAL_RULES == ALL_RULES
+    assert not ORDERING_RULES & UNIVERSAL_RULES
+
+
+def test_library_source_is_clean():
+    """The shipped library and examples carry zero findings — the CI
+    contract of ``python -m repro.check``."""
+    import repro
+
+    pkg = Path(repro.__file__).parent
+    findings = lint_paths([pkg])
+    assert findings == [], "\n".join(f.format() for f in findings)

@@ -1,0 +1,98 @@
+"""Plan-sanitizer tests: seeded invariant violations are caught with
+the failing coordinate, and healthy plans (hand-built and real) pass."""
+
+import numpy as np
+import pytest
+
+from repro.check.plan import (check_plan, check_plan_deep,
+                              check_shuffle_accounting, check_translation,
+                              check_window_consistency, shuffle_wire_bytes)
+from repro.dataspace import RunList
+from repro.errors import IOLayerError
+from repro.io.twophase import TwoPhasePlan
+
+
+def two_rank_plan():
+    """A healthy plan: two ranks, one aggregator, one window covering
+    everything."""
+    return TwoPhasePlan(
+        all_runs=[RunList.from_pairs([(0, 32)]),
+                  RunList.from_pairs([(32, 32)])],
+        aggregators=[0],
+        domains=[(0, 64)],
+        windows=[[(0, 64)]],
+    )
+
+
+def test_healthy_plan_passes_every_sanitizer():
+    check_plan_deep(two_rank_plan())
+
+
+def test_coverage_gap_is_caught():
+    plan = TwoPhasePlan(
+        all_runs=[RunList.from_pairs([(0, 64)])],
+        aggregators=[0],
+        domains=[(0, 64)],
+        windows=[[(0, 32)]],  # second half of the request never scheduled
+    )
+    with pytest.raises(IOLayerError, match="cover"):
+        check_plan(plan)
+
+
+def test_window_escaping_its_domain_is_caught():
+    plan = TwoPhasePlan(
+        all_runs=[RunList.from_pairs([(0, 64)])],
+        aggregators=[0],
+        domains=[(0, 32)],
+        windows=[[(0, 64)]],
+    )
+    with pytest.raises(IOLayerError, match="escapes its file domain"):
+        check_plan(plan)
+
+
+def test_overlapping_windows_across_aggregators_are_caught():
+    plan = TwoPhasePlan(
+        all_runs=[RunList.from_pairs([(0, 64)])],
+        aggregators=[0, 1],
+        domains=[(0, 40), (24, 64)],
+        windows=[[(0, 40)], [(24, 64)]],
+    )
+    with pytest.raises(IOLayerError, match="overlap"):
+        check_plan(plan)
+
+
+def test_corrupted_memoized_read_span_is_caught():
+    plan = two_rank_plan()
+    assert plan.read_span(0, 0) == (0, 64)
+    plan.__dict__["_read_spans"][(0, 0)] = (0, 63)  # poison the memo
+    with pytest.raises(IOLayerError, match=r"read_span\(0, 0\)"):
+        check_window_consistency(plan)
+
+
+def test_corrupted_window_pieces_are_caught():
+    plan = two_rank_plan()
+    plan.window_pieces(1, 0, 0)  # populate the memo ...
+    plan.__dict__["_window_pieces"][(1, 0, 0)] = \
+        RunList.from_pairs([(32, 16)])  # ... then drop half the bytes
+    with pytest.raises(IOLayerError, match="window_pieces"):
+        check_window_consistency(plan)
+
+
+def test_shuffle_accounting_closed_form():
+    pieces = RunList.from_pairs([(0, 10), (20, 5)])
+    assert shuffle_wire_bytes(pieces) == 16 + 24 * 2 + 15
+    check_shuffle_accounting(two_rank_plan())
+
+
+def test_translation_claim_is_verified():
+    base = RunList.from_pairs([(0, 8), (32, 8)])
+    plan = two_rank_plan()
+    # Honest translation passes.
+    check_translation(base, base.shift(64), 64, plan.shifted(64))
+    # A lying delta is rejected before any plan is trusted.
+    with pytest.raises(IOLayerError, match="not an exact translation"):
+        check_translation(base, base.shift(64), 48, plan.shifted(48))
+
+
+def test_shifted_plan_preserves_invariants():
+    check_plan_deep(two_rank_plan().shifted(1024))

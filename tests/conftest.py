@@ -1,0 +1,26 @@
+"""Suite-wide fixtures: run every test with the verification layer on.
+
+The runtime sanitizers (`repro.check`) are opt-in for normal runs but
+on by default here, so the whole suite doubles as a regression harness
+for the collective protocol and the two-phase plan invariants.  Set
+``REPRO_CHECK=0`` to run the suite with the production (unchecked)
+configuration, e.g. when timing the tests themselves.
+"""
+
+import os
+
+import pytest
+
+from repro.check.flags import enable_checks
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sanitizers_on():
+    """Enable the runtime sanitizers unless the caller opted out."""
+    if os.environ.get("REPRO_CHECK", "").strip().lower() in {"0", "false",
+                                                             "no", "off"}:
+        yield
+        return
+    enable_checks(True)
+    yield
+    enable_checks(False)
