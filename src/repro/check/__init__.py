@@ -1,8 +1,10 @@
 """repro.check — the verification layer (DESIGN.md §8).
 
-Three coordinated analyzers guard the repo's determinism and protocol
-contracts, runnable together as ``python -m repro.check`` and wired
-into CI:
+**Role.** Coordinated analyzers guarding the repo's determinism and
+protocol contracts, runnable together as ``python -m repro.check`` and
+wired into CI.  **Paper mapping.** Not in the paper: where its claims
+were backed by a physical testbed (§V), a simulation's claims are only
+as good as its invariants, so this layer checks them mechanically:
 
 1. **Determinism lint** (:mod:`repro.check.lint`) — a static AST pass
    over the library source enforcing the determinism contract.
@@ -12,6 +14,10 @@ into CI:
 3. **Plan sanitizers** (:mod:`repro.check.plan`) — invariant checks on
    :class:`~repro.io.twophase.TwoPhasePlan` and
    :class:`~repro.core.plan_cache.PlanMemo`.
+4. **Recovery-coverage check** (:mod:`repro.check.faults`) — asserts
+   the fault-recovery accounting of :mod:`repro.faults.resilient`:
+   every expected window is served exactly once (by an aggregator or
+   the degraded tail), never dropped or double-counted.
 
 The runtime sanitizers hang off the ``REPRO_CHECK`` environment flag
 (:mod:`repro.check.flags`); the test suite enables them globally.
@@ -23,6 +29,7 @@ re-export here would make that a cycle.
 
 from __future__ import annotations
 
+from .faults import check_recovery_coverage
 from .flags import checks_enabled, enable_checks, override_checks
 from .lint import (ALL_RULES, DEFAULT_CONFIG, Finding, LintConfig,
                    lint_file, lint_paths, lint_source)
@@ -31,6 +38,7 @@ __all__ = [
     "checks_enabled", "enable_checks", "override_checks",
     "ALL_RULES", "DEFAULT_CONFIG", "Finding", "LintConfig",
     "lint_file", "lint_paths", "lint_source",
+    "check_recovery_coverage",
     "CollectiveLedger", "payload_signature",
     "check_plan", "check_plan_deep", "check_shuffle_accounting",
     "check_translation", "check_window_consistency",

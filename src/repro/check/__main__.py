@@ -7,9 +7,11 @@ Two stages, both on by default:
    installed package directory).
 2. **Runtime smoke**: a small simulated job per protocol feature with
    ``REPRO_CHECK`` forced on — collective read + write, an iterative
-   sweep through :class:`~repro.core.plan_cache.PlanMemo`, and a full
-   collective battery — so the protocol verifier and the plan
-   sanitizers run against real schedules.
+   sweep through :class:`~repro.core.plan_cache.PlanMemo`, a full
+   collective battery, and one *faulted* resilient run (seeded
+   aggregator crashes; the recovered result must equal the fault-free
+   one) — so the protocol verifier, the plan sanitizers, and the
+   recovery-coverage check run against real schedules.
 
 Exit status: 0 clean, 1 findings/sanitizer failure, 2 usage error.
 
@@ -17,6 +19,7 @@ Usage::
 
     PYTHONPATH=src python -m repro.check            # lint + smoke
     python -m repro.check src/repro --static-only   # lint only
+    python -m repro.check --static-only --require-docstrings src/repro
     python -m repro.check --list-rules
 """
 
@@ -42,13 +45,15 @@ def _default_paths() -> List[Path]:
     return [Path(__file__).resolve().parent.parent]
 
 
-def _run_static(paths: Sequence[Path], quiet: bool) -> int:
+def _run_static(paths: Sequence[Path], quiet: bool,
+                require_docstrings: bool = False) -> int:
     files = lint.iter_python_files(paths)
     if not files:
         print(f"repro.check: no Python files under "
               f"{', '.join(map(str, paths))}", file=sys.stderr)
         return 2
-    findings = lint.lint_paths(paths)
+    config = lint.LintConfig(require_docstrings=require_docstrings)
+    findings = lint.lint_paths(paths, config)
     for finding in findings:
         print(finding.format())
     if not quiet:
@@ -158,10 +163,47 @@ def _run_smoke(quiet: bool) -> int:
         if any(m.reuses == 0 for m in memos):
             raise AssertionError("PlanMemo never reused a translated plan")
 
+    def smoke_faulted():
+        from ..faults import (FaultInjector, FaultPlan, RecoveryPolicy,
+                              resilient_object_get)
+
+        spec = DatasetSpec((8, 16, 16), np.float64, name="smoke")
+        parts = block_partition(full_selection(spec), nprocs, axis=1)
+        policy = RecoveryPolicy()
+
+        def run(plan):
+            machine = _machine()
+            file = machine.fs.create_procedural_file("smoke.nc",
+                                                     spec.n_elements)
+            if plan is not None:
+                FaultInjector.attach(machine, plan)
+
+            def body(ctx):
+                oio = ObjectIO(spec, parts[ctx.rank], SUM_OP)
+                result = yield from resilient_object_get(
+                    ctx, file, oio, policy=policy)
+                return result.global_result
+            results = mpi_run(machine, nprocs, body)
+            injected = (len(machine.faults.injected())
+                        if machine.faults is not None else 0)
+            return results, injected
+
+        healthy, _ = run(None)
+        plan = FaultPlan(seed=7, agg_crash_rate=0.35)
+        faulted, injected = run(plan)
+        if injected == 0:
+            raise AssertionError(
+                "fault plan injected nothing; smoke seed needs adjusting")
+        if faulted != healthy:
+            raise AssertionError(
+                f"recovered results diverge from fault-free run: "
+                f"{faulted} != {healthy}")
+
     scenario("collective battery", smoke_collectives)
     scenario("two-phase read+write", smoke_read_write)
     scenario("collective computing object_get", smoke_object_get)
     scenario("PlanMemo translated sweep", smoke_plan_memo)
+    scenario("faulted resilient object_get", smoke_faulted)
 
     if failures:
         for failure in failures:
@@ -186,14 +228,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run only the runtime sanitizer battery")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the lint rule ids and exit")
+    parser.add_argument("--require-docstrings", action="store_true",
+                        help="also fail on modules without a docstring "
+                             "(used by the CI API-reference job)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="only print findings/failures")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for rule in sorted(lint.ALL_RULES):
-            scope = ("event-ordering packages"
-                     if rule in lint.ORDERING_RULES else "all packages")
+            if rule in lint.ORDERING_RULES:
+                scope = "event-ordering packages"
+            elif rule in lint.OPT_IN_RULES:
+                scope = "opt-in (--require-docstrings)"
+            else:
+                scope = "all packages"
             print(f"{rule:18s} {scope}")
         return 0
     if args.static_only and args.smoke_only:
@@ -209,7 +258,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"repro.check: no such path(s): "
                   f"{', '.join(map(str, missing))}", file=sys.stderr)
             return 2
-        status = max(status, _run_static(paths, args.quiet))
+        status = max(status, _run_static(paths, args.quiet,
+                                         args.require_docstrings))
     if not args.static_only:
         status = max(status, _run_smoke(args.quiet))
     return status

@@ -26,6 +26,11 @@ module enforces them statically:
 ``bare-except``
     No ``except:`` clauses (any package) — they swallow
     ``KeyboardInterrupt`` and hide simulator bugs.
+``module-docstring``
+    Opt-in (``LintConfig(require_docstrings=True)`` / the CLI's
+    ``--require-docstrings``): every module must open with a docstring.
+    CI's API-reference job enables it so ``pdoc`` output never ships an
+    undocumented module.
 
 Rules are configurable per package (:class:`LintConfig`) and individual
 lines may be waived with an inline ``# repro: allow[rule]`` (or
@@ -46,8 +51,10 @@ ORDERING_RULES = frozenset({
 })
 #: Rules enforced everywhere.
 UNIVERSAL_RULES = frozenset({"mutable-default", "bare-except"})
+#: Opt-in rules (off unless the config asks for them).
+OPT_IN_RULES = frozenset({"module-docstring"})
 #: Every rule id this lint knows.
-ALL_RULES = ORDERING_RULES | UNIVERSAL_RULES
+ALL_RULES = ORDERING_RULES | UNIVERSAL_RULES | OPT_IN_RULES
 
 #: ``time``/``datetime`` attributes that read the wall clock.
 _WALLCLOCK_ATTRS = frozenset({
@@ -92,16 +99,21 @@ class LintConfig:
         "repro.sim", "repro.mpi", "repro.io", "repro.pfs",
         "repro.core", "repro.cluster", "repro.dataspace",
         "repro.experiments", "repro.workloads", "repro.highlevel",
+        "repro.faults",
     )
     universal_rules: FrozenSet[str] = UNIVERSAL_RULES
     ordering_rules: FrozenSet[str] = ORDERING_RULES
+    #: Enable the ``module-docstring`` rule (used by CI's API-reference
+    #: job so every published module carries documentation).
+    require_docstrings: bool = False
 
     def rules_for(self, module: str) -> FrozenSet[str]:
         """The enabled rule set for one dotted module name."""
+        extra = OPT_IN_RULES if self.require_docstrings else frozenset()
         for prefix in self.ordered_packages:
             if module == prefix or module.startswith(prefix + "."):
-                return self.universal_rules | self.ordering_rules
-        return self.universal_rules
+                return self.universal_rules | self.ordering_rules | extra
+        return self.universal_rules | extra
 
 
 DEFAULT_CONFIG = LintConfig()
@@ -299,6 +311,11 @@ def lint_source(source: str, path: str = "<string>",
                         "syntax", f"cannot parse: {exc.msg}")]
     visitor = _Visitor(path, rules)
     visitor.visit(tree)
+    if "module-docstring" in rules and ast.get_docstring(tree) is None:
+        visitor.findings.insert(0, Finding(
+            path, 1, 0, "module-docstring",
+            f"module {module!r} has no docstring (the API reference "
+            f"would publish it undocumented)"))
     waivers = _parse_waivers(source)
     if not waivers:
         return visitor.findings

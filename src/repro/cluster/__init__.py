@@ -1,4 +1,14 @@
-"""Cluster model: nodes, mesh interconnect, and the assembled machine."""
+"""Cluster model: nodes, mesh interconnect, and the assembled machine.
+
+**Role.** The simulated hardware everything runs on: multi-core nodes
+with NICs, a Gemini-style 2-D mesh/torus with per-link contention, and
+:class:`Machine` assembling them with the parallel file system and the
+block rank placement.
+
+**Paper mapping.** The evaluation platform of §V — NERSC Hopper (Cray
+XE6, 24-core nodes, Gemini interconnect) — rebuilt as a cost-modelled
+simulation (DESIGN.md §2 has the substitution argument).
+"""
 
 from .machine import Machine
 from .network import Network

@@ -45,6 +45,10 @@ class Machine:
                            default_stripe_count=spec.default_stripe_count)
         # File data shares the interconnect with messages (LNET/Gemini).
         self.fs.network = self.network
+        #: Set by :meth:`repro.faults.FaultInjector.attach`: when
+        #: present, point-to-point messages consult it for injected
+        #: drops and delays.
+        self.faults = None
 
     # -- placement -------------------------------------------------------
     def node_of_rank(self, rank: int, nprocs: int) -> int:

@@ -1,9 +1,17 @@
 """Collective computing — the paper's contribution.
 
-Computation (a map/reduce operator) is packaged with the I/O region
-into an :class:`ObjectIO` and executed *inside* the two-phase collective
-I/O pipeline: aggregators map each collective-buffer window right after
-reading it and shuffle only small partial results.
+**Role.** Computation (a map/reduce operator) is packaged with the I/O
+region into an :class:`ObjectIO` and executed *inside* the two-phase
+collective I/O pipeline: aggregators map each collective-buffer window
+right after reading it and shuffle only small partial results.
+
+**Paper mapping.** §III in full — object I/O (§III-A), the logical map
+(§III-B, via :mod:`repro.dataspace`), the read/map/shuffle pipeline of
+Figure 7, and the all-to-one / all-to-all results reduce with result
+construction (§III-C) — plus the §VI future-work items: iterative
+sweeps with plan reuse (:mod:`.iterative`, :mod:`.plan_cache`) and
+fail-stop aggregator degradation (:mod:`.fault`), which
+:mod:`repro.faults` generalizes to live fault injection and recovery.
 """
 
 from .api import (local_read_compute, locate, object_get,

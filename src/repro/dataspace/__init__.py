@@ -1,4 +1,15 @@
-"""Logical N-D data model: datasets, hyperslabs, flattening, logical map."""
+"""Logical N-D data model: datasets, hyperslabs, flattening, logical map.
+
+**Role.** The coordinate machinery under every access: dataset shapes,
+hyperslab selections, flattening to byte runs, block/grid partitioning,
+and the inverse map from anonymous byte ranges back to logical
+coordinates.
+
+**Paper mapping.** The hyperslab access model of §II (MPI-IO/PnetCDF
+subarrays) and the *logical map* of §III-B — the paper's mechanism for
+letting aggregators run the analysis on meaningful logical subsets of
+the bytes they happen to hold.
+"""
 
 from .dataset import DatasetSpec
 from .decompose import block_partition, grid_partition, partition_covers

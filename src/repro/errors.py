@@ -38,6 +38,25 @@ class PFSError(ReproError):
     end of file, invalid striping configuration)."""
 
 
+class TransientIOError(PFSError):
+    """An injected, retryable storage fault (a transient EIO from one
+    OST).  Raised only by the fault-injection layer; the resilient read
+    path (:func:`repro.faults.read_with_retry`) absorbs it with bounded
+    exponential backoff."""
+
+
+class FaultError(ReproError):
+    """Base class for the fault-injection/resilience subsystem
+    (:mod:`repro.faults`): invalid fault plans, recovery-invariant
+    violations detected by the sanitizers."""
+
+
+class RecoveryError(FaultError):
+    """Raised when recovery is exhausted: an OST read failed on its last
+    permitted retry, or so many aggregators were lost that not even the
+    degraded (independent-I/O) path can complete the job."""
+
+
 class DataspaceError(ReproError):
     """Raised for invalid logical data-space descriptions (negative
     extents, out-of-bounds subarrays, dtype mismatches)."""

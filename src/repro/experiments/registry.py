@@ -10,7 +10,7 @@ from typing import Callable, Dict, List
 
 from . import (fig01_io_profile, fig02_cpu_collective, fig03_cpu_independent,
                fig09_ratio_speedup, fig10_scalability, fig11_overhead,
-               fig12_metadata, fig13_wrf, table1_incite)
+               fig12_metadata, fig13_wrf, fig14_faults, table1_incite)
 from .common import ExperimentResult
 
 #: All experiments, in paper order.
@@ -24,6 +24,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig11": fig11_overhead.run,
     "fig12": fig12_metadata.run,
     "fig13": fig13_wrf.run,
+    "fig14": fig14_faults.run,
 }
 
 

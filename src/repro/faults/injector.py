@@ -1,0 +1,186 @@
+"""Applying a :class:`~repro.faults.plan.FaultPlan` to a live machine.
+
+The :class:`FaultInjector` is the runtime half of fault injection: it
+holds the plan, the per-OST and per-message-pair counters the stateless
+decisions are keyed by, and the chronological log of everything that
+was injected or recovered (:class:`FaultRecord`).  Attach it with
+:meth:`FaultInjector.attach`, which wires the three hook points:
+
+* ``machine.fs.faults`` — consulted by :meth:`repro.pfs.LustreFS.read`
+  for per-segment OST slowdowns and transient EIOs;
+* ``machine.faults`` — consulted by
+  :meth:`repro.mpi.comm.Communicator._send_proc` for message drops and
+  delays;
+* the kernel's deadlock watcher list — so a hang that follows an
+  injected fault names that fault in the
+  :class:`~repro.errors.DeadlockError` report, distinguishing
+  fault-induced deadlocks from protocol bugs.
+
+Message drops are only honoured inside tag ranges the resilient
+protocol explicitly registers (:meth:`allow_drops`): the model is a
+reliable control plane (collectives, agreement rounds) over a lossy
+bulk data path, so injected loss can never wedge the recovery machinery
+itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault or recovery action, as it happened.
+
+    ``kind`` is namespaced: ``inject:*`` for faults the injector
+    created (``inject:ost-slow``, ``inject:ost-fail``,
+    ``inject:agg-crash``, ``inject:agg-straggle``, ``inject:msg-drop``,
+    ``inject:msg-delay``) and ``recover:*`` for the protocol's
+    responses (``recover:retry``, ``recover:failover``,
+    ``recover:degraded``).
+    """
+
+    time: float
+    kind: str
+    location: str
+    detail: str
+
+    def format(self) -> str:
+        """``t=... kind @location: detail`` — the human-readable line."""
+        return f"t={self.time:.6f} {self.kind} @{self.location}: {self.detail}"
+
+
+class FaultInjector:
+    """Runtime fault injection for one simulated machine.
+
+    Parameters
+    ----------
+    plan:
+        The seeded schedule to apply.
+    kernel:
+        The owning simulation kernel (timestamps the records).
+    """
+
+    def __init__(self, plan: FaultPlan, kernel) -> None:
+        self.plan = plan
+        self.kernel = kernel
+        #: Chronological log of injected faults and recovery actions.
+        self.records: List[FaultRecord] = []
+        self._ost_request_index: Dict[int, int] = {}
+        #: Tag ranges (lo, hi) whose messages the plan may drop.
+        self._droppable: List[Tuple[int, int]] = []
+
+    # -- wiring ------------------------------------------------------------
+    @classmethod
+    def attach(cls, machine, plan: FaultPlan) -> "FaultInjector":
+        """Create an injector and wire it into ``machine``'s file
+        system, communicators and deadlock diagnostics."""
+        injector = cls(plan, machine.kernel)
+        machine.faults = injector
+        machine.fs.faults = injector
+        machine.kernel.watch_deadlocks(injector)
+        return injector
+
+    @staticmethod
+    def detach(machine) -> None:
+        """Remove fault injection from ``machine`` (records survive on
+        the detached injector; the kernel's weak watcher expires)."""
+        machine.faults = None
+        machine.fs.faults = None
+
+    # -- logging -----------------------------------------------------------
+    def record(self, kind: str, location: str, detail: str) -> None:
+        """Append one :class:`FaultRecord` stamped with simulated now."""
+        self.records.append(
+            FaultRecord(self.kernel.now, kind, location, detail))
+
+    def injected(self) -> List[FaultRecord]:
+        """Only the ``inject:*`` records (the fault schedule as it ran)."""
+        return [r for r in self.records if r.kind.startswith("inject:")]
+
+    def recovered(self) -> List[FaultRecord]:
+        """Only the ``recover:*`` records (what the protocol did)."""
+        return [r for r in self.records if r.kind.startswith("recover:")]
+
+    def describe_blocked(self) -> List[str]:
+        """Deadlock-report lines: the most recent injected fault, so a
+        fault-induced hang is distinguishable from a protocol bug."""
+        injected = self.injected()
+        if not injected:
+            return ["fault injection active; no fault injected before "
+                    "the hang (suspect a protocol bug, not the plan)"]
+        last = injected[-1]
+        return [f"{len(injected)} fault(s) injected; last before the "
+                f"hang: {last.format()}"]
+
+    # -- OST hook (consulted by LustreFS.read) -----------------------------
+    def ost_decision(self, ost_index: int) -> Tuple[float, bool]:
+        """``(service multiplier, fail?)`` for the next request at one
+        OST; advances that OST's request counter."""
+        k = self._ost_request_index.get(ost_index, 0)
+        self._ost_request_index[ost_index] = k + 1
+        slow, fail = self.plan.ost_fault(ost_index, k)
+        if fail:
+            self.record("inject:ost-fail", f"ost{ost_index}",
+                        f"transient EIO on request #{k}")
+        elif slow > 1.0:
+            self.record("inject:ost-slow", f"ost{ost_index}",
+                        f"request #{k} served at {slow:g}x")
+        return slow, fail
+
+    # -- aggregator hooks (consulted by the resilient loops) ---------------
+    def crash_iteration(self, rank: int, n_windows: int,
+                        round_index: int = 0) -> Optional[int]:
+        """Window index at which this aggregator fail-stops, or None."""
+        t = self.plan.aggregator_crash(rank, n_windows, round_index)
+        if t is not None:
+            self.record("inject:agg-crash", f"rank{rank}",
+                        f"fail-stop before window {t} of round "
+                        f"{round_index}")
+        return t
+
+    def straggle_delay(self, rank: int, window: int,
+                       round_index: int = 0) -> float:
+        """Extra stall before this aggregator serves one window."""
+        delay = self.plan.aggregator_straggle(rank, window, round_index)
+        if delay > 0:
+            self.record("inject:agg-straggle", f"rank{rank}",
+                        f"window {window} of round {round_index} "
+                        f"delayed {delay:g}s")
+        return delay
+
+    # -- message hook (consulted by Communicator._send_proc) ---------------
+    def allow_drops(self, tag_lo: int, tag_hi: int) -> None:
+        """Declare ``[tag_lo, tag_hi)`` a droppable data-plane range."""
+        self._droppable.append((tag_lo, tag_hi))
+
+    def disallow_drops(self, tag_lo: int, tag_hi: int) -> None:
+        """Retract a droppable range registered with :meth:`allow_drops`."""
+        self._droppable.remove((tag_lo, tag_hi))
+
+    def _droppable_tag(self, tag: int) -> bool:
+        return any(lo <= tag < hi for lo, hi in self._droppable)
+
+    def message_decision(self, msg) -> Tuple[bool, float]:
+        """``(drop?, extra delay)`` for one in-flight message.  Drops
+        apply only inside registered data-plane tag ranges; delays apply
+        to any message (a late control message is safe, a lost one is
+        not)."""
+        dropped, delay = self.plan.message_fault(msg.source, msg.dest,
+                                                 msg.tag)
+        if dropped:
+            if not self._droppable_tag(msg.tag):
+                dropped = False
+            else:
+                self.record("inject:msg-drop",
+                            f"{msg.source}->{msg.dest}",
+                            f"tag {msg.tag}, {msg.nbytes}B lost on the "
+                            f"wire")
+                return True, 0.0
+        if delay > 0:
+            self.record("inject:msg-delay", f"{msg.source}->{msg.dest}",
+                        f"tag {msg.tag} delivered {delay:g}s late")
+        return False, delay

@@ -1,4 +1,13 @@
-"""High-level, PnetCDF-flavoured access API (paper Figures 5-6)."""
+"""High-level, PnetCDF-flavoured access API.
+
+**Role.** The programming surface applications use: netCDF-style files
+and variables with ``get_vara_all`` (traditional collective read) and
+``object_get_vara`` (collective computing) entry points.
+
+**Paper mapping.** Figures 5-6 — the paper presents its interface as a
+PnetCDF extension (``ncmpi_object_get_vara_float(io, op)``), and this
+package mirrors that call shape.
+"""
 
 from .pnetcdf import HEADER_BYTES, NCFile, Variable, VariableDef, create_dataset
 

@@ -1,4 +1,16 @@
-"""MPI-IO layer: independent I/O, data sieving, two-phase collective I/O."""
+"""MPI-IO layer: independent I/O, data sieving, two-phase collective I/O.
+
+**Role.** A faithful ROMIO-style MPI-IO implementation: offset-list
+exchange, file-domain partitioning, aggregator iterations bounded by
+the collective buffer, the alltoallv shuffle, plus sieving, independent
+and nonblocking variants.
+
+**Paper mapping.** §II's background protocol — the *thing the paper
+breaks*: collective computing (:mod:`repro.core`) splits this two-phase
+pipeline between its read and shuffle phases, and the resilient
+variants (:mod:`repro.faults`) recover it, all reusing this package's
+:class:`~repro.io.twophase.TwoPhasePlan` artifacts.
+"""
 
 from .aggregation import (iteration_windows, partition_file_domains,
                           select_aggregators)

@@ -1,4 +1,16 @@
-"""Simulated MPI: point-to-point, collectives, datatypes, ops, runtime."""
+"""Simulated MPI: point-to-point, collectives, datatypes, ops, runtime.
+
+**Role.** The message-passing substrate: ranks as coroutines
+(:func:`mpi_run`), point-to-point with real MPI matching semantics,
+binomial/Bruck/pairwise collectives built on it, derived datatypes and
+reduction ops.
+
+**Paper mapping.** Stands in for the MPICH 3.1.2 of the §V testbed;
+the §III-C results reduce (all-to-one / all-to-all) and the two-phase
+shuffle ride these primitives, and the fault injector
+(:mod:`repro.faults`) intercepts this layer's messages for drop/delay
+faults.
+"""
 
 from . import collectives
 from .comm import (ANY_SOURCE, ANY_TAG, MIN_RESERVED_TAG, CommHandle,

@@ -179,7 +179,9 @@ class Communicator:
         # even if the underlying transfers complete out of order.
         self._pair_next_out: Dict[Tuple[int, int], int] = {}
         self._pair_next_in: Dict[Tuple[int, int], int] = {}
-        self._held_back: Dict[Tuple[int, int], Dict[int, Message]] = {}
+        # Held-back values are None for messages the fault injector
+        # dropped after they occupied the wire (sequencing still moves).
+        self._held_back: Dict[Tuple[int, int], Dict[int, Optional[Message]]] = {}
         #: Total messages and payload bytes sent (experiment accounting).
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -251,17 +253,30 @@ class Communicator:
         src_node = self.node_of(msg.source)
         dst_node = self.node_of(msg.dest)
         yield from self.machine.network.transfer(src_node, dst_node, msg.nbytes)
+        dropped = False
+        faults = self.machine.faults
+        if faults is not None:
+            dropped, delay = faults.message_decision(msg)
+            if delay > 0:
+                yield self.kernel.timeout(delay)
         pair = (msg.source, msg.dest)
         expected = self._pair_next_in.get(pair, 0)
         if seq != expected:
             # Overtook an earlier message of the same pair: hold it back.
-            self._held_back.setdefault(pair, {})[seq] = msg
+            # A dropped message is held as None so pair sequencing still
+            # advances past it — otherwise every later message of this
+            # pair would wait forever on a delivery that never happens.
+            self._held_back.setdefault(pair, {})[seq] = (
+                None if dropped else msg)
             return None
-        self._deliver(msg)
+        if not dropped:
+            self._deliver(msg)
         expected += 1
         held = self._held_back.get(pair)
         while held and expected in held:
-            self._deliver(held.pop(expected))
+            held_msg = held.pop(expected)
+            if held_msg is not None:
+                self._deliver(held_msg)
             expected += 1
         self._pair_next_in[pair] = expected
         return None

@@ -1,4 +1,15 @@
-"""Parallel file system model (Lustre-like: OSTs + round-robin striping)."""
+"""Parallel file system model (Lustre-like: OSTs + round-robin striping).
+
+**Role.** The storage side of every read: OST servers with seek +
+bandwidth costs and FIFO queueing, round-robin striping, and procedural
+TB-scale files whose bytes are generated (and cached) on demand.
+
+**Paper mapping.** The §V testbed's Lustre (156 OSTs, 4 MB stripes,
+35 GB/s peak); OST contention and stripe alignment drive the read phase
+exactly as in Lustre's data path.  The fault injector
+(:mod:`repro.faults`) hooks :meth:`~repro.pfs.ost.OST.service` for
+slow/failed request faults.
+"""
 
 from .datasource import (ArraySource, BlockCache, CompositeSource,
                          DataSource, ProceduralSource, ZeroSource,

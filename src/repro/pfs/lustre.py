@@ -15,7 +15,7 @@ from typing import Dict, Generator, List, Optional, Sequence
 import numpy as np
 
 from ..config import CostModel, PlatformSpec
-from ..errors import PFSError
+from ..errors import PFSError, TransientIOError
 from ..sim import Kernel
 from .datasource import ArraySource, DataSource, ProceduralSource, ZeroSource
 from .file import PFSFile
@@ -52,6 +52,10 @@ class LustreFS:
         #: file data additionally crosses the client node's NIC (the
         #: LNET-over-Gemini data path of the paper's testbed).
         self.network = None
+        #: Set by :meth:`repro.faults.FaultInjector.attach`: when
+        #: present, every read consults it for per-segment OST
+        #: slowdowns and injected transient EIOs.
+        self.faults = None
 
     # -- namespace ---------------------------------------------------------
     def create_file(self, name: str, source: DataSource, *,
@@ -128,15 +132,46 @@ class LustreFS:
             yield self.kernel.timeout(self.cost.ost_seek)
             return b""
         segments = file.layout.split_extent(offset, nbytes)
-        procs = [
-            self.kernel.process(self.osts[seg.ost].service(seg.length),
-                                name=f"read:{file.name}@{seg.file_offset}")
-            for seg in segments
-        ]
-        yield self.kernel.all_of(procs)
+        if self.faults is not None and self.faults.plan.any_faults:
+            # Decide every segment's fate up front (stateless plan), then
+            # absorb per-segment EIOs inside the wrappers so concurrent
+            # failures cannot leave undefused failed processes behind;
+            # the first failing segment (in extent order) is re-raised.
+            decisions = [self.faults.ost_decision(seg.ost)
+                         for seg in segments]
+            procs = [
+                self.kernel.process(
+                    self._fallible_service(seg, mult, fail),
+                    name=f"read:{file.name}@{seg.file_offset}")
+                for seg, (mult, fail) in zip(segments, decisions)
+            ]
+            outcomes = yield self.kernel.all_of(procs)
+            for err in outcomes:
+                if err is not None:
+                    raise err
+        else:
+            procs = [
+                self.kernel.process(self.osts[seg.ost].service(seg.length),
+                                    name=f"read:{file.name}@{seg.file_offset}")
+                for seg in segments
+            ]
+            yield self.kernel.all_of(procs)
         if client is not None and self.network is not None:
             yield from self.network.inject(client, nbytes)
         return file.source.read(offset, nbytes)
+
+    def _fallible_service(self, seg, fault_mult: float,
+                          fault_fail: bool) -> Generator:
+        """Serve one segment under fault injection, returning the
+        :class:`~repro.errors.TransientIOError` (instead of raising) so
+        sibling segments of the same read can finish draining their
+        OST queues before the caller re-raises."""
+        try:
+            yield from self.osts[seg.ost].service(seg.length, fault_mult,
+                                                  fault_fail)
+        except TransientIOError as exc:
+            return exc
+        return None
 
     def write(self, file: PFSFile, offset: int, data: bytes,
               client: Optional[int] = None) -> Generator:

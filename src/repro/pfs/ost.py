@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Generator
 
 from ..config import CostModel
+from ..errors import TransientIOError
 from ..sim import Kernel, Resource
 
 
@@ -44,16 +45,30 @@ class OST:
         #: Accumulated busy time (service only, not queueing).
         self.busy_time = 0.0
 
-    def service(self, nbytes: int) -> Generator:
+    def service(self, nbytes: int, fault_mult: float = 1.0,
+                fault_fail: bool = False) -> Generator:
         """Sub-process: queue for the device, then spend the service time.
 
         The caller is responsible for actually producing/consuming the
-        bytes; this models only the device occupancy.
+        bytes; this models only the device occupancy.  ``fault_mult``
+        scales this one request's service time (an injected straggling
+        device) and ``fault_fail`` makes the request pay its seek cost
+        and then raise :class:`~repro.errors.TransientIOError` — both
+        decided up front by the fault injector so a fault-free run's
+        event order is untouched.
         """
         req = self._server.request()
         yield req
         try:
-            duration = self.cost.ost_time(nbytes, self.slowdown)
+            if fault_fail:
+                # A failing request occupies the device for the seek
+                # before the EIO surfaces, like a real timed-out disk op.
+                self.busy_time += self.cost.ost_seek
+                self.requests_served += 1
+                yield self.kernel.timeout(self.cost.ost_seek)
+                raise TransientIOError(
+                    f"injected transient EIO at OST {self.index}")
+            duration = self.cost.ost_time(nbytes, self.slowdown) * fault_mult
             self.busy_time += duration
             self.bytes_served += nbytes
             self.requests_served += 1

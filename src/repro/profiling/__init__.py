@@ -1,4 +1,14 @@
-"""Measurement: CPU-state accounting, phase timelines, text reports."""
+"""Measurement: CPU-state accounting, phase timelines, text reports.
+
+**Role.** How simulated runs are observed: per-rank CPU-state intervals
+(user/sys/wait), per-phase timelines (read/map/shuffle, plus the
+recovery/degraded phases of faulted runs), ASCII tables/plots, and
+Chrome-trace export for Perfetto.
+
+**Paper mapping.** The instrumentation behind the paper's measurements:
+Figure 1's I/O-phase profile, Figures 2-3's CPU utilization breakdowns,
+and the timing columns of every §V figure.
+"""
 
 from .ascii_plot import ascii_plot, plot_columns
 from .cpu import CpuProfiler, Interval, KINDS

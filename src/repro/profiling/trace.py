@@ -5,7 +5,9 @@ intervals, :class:`~repro.profiling.PhaseTimeline` samples) into the
 Trace Event Format consumed by ``chrome://tracing`` / Perfetto, so a
 simulated job can be inspected on a real timeline: one track per rank,
 complete events for user/sys/wait states and for read/map/shuffle
-phases.
+phases, and instant events for every injected fault and recovery action
+(:class:`~repro.faults.FaultRecord`) so a slow run can be read against
+what was done to it.
 
 Simulated seconds are emitted as microseconds (the format's unit).
 """
@@ -13,7 +15,8 @@ Simulated seconds are emitted as microseconds (the format's unit).
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+import re
+from typing import Dict, Iterable, List, Optional
 
 from .cpu import CpuProfiler
 from .timeline import PhaseTimeline
@@ -28,7 +31,18 @@ COLOR_BY_NAME = {
     "shuffle": "rail_response",
     "write": "rail_load",
     "compute": "rail_animation",
+    "recovery": "bad",
+    "degraded": "terrible",
 }
+
+#: Colour per fault-record kind prefix: injections red, recoveries
+#: yellow (the viewer's palette names, as above).
+FAULT_COLOR_BY_PREFIX = {
+    "inject": "terrible",
+    "recover": "bad",
+}
+
+_RANK_LOCATION = re.compile(r"^rank(\d+)$")
 
 
 def _event(name: str, pid: int, tid: int, start: float, end: float,
@@ -48,13 +62,40 @@ def _event(name: str, pid: int, tid: int, start: float, end: float,
     return ev
 
 
+def _fault_event(record) -> Dict:
+    """One :class:`~repro.faults.FaultRecord` as an instant event in
+    process 2; records at a ``rankN`` location land on that rank's
+    track, machine-level ones (``ost3``, ``job``) on track 0."""
+    match = _RANK_LOCATION.match(record.location)
+    tid = int(match.group(1)) if match else 0
+    prefix, _, _ = record.kind.partition(":")
+    ev = {
+        "name": record.kind,
+        "cat": "faults",
+        "ph": "i",  # instant event
+        "s": "p",   # process-scoped: visible across the track group
+        "pid": 2,
+        "tid": tid,
+        "ts": record.time * 1e6,
+        "args": {"location": record.location, "detail": record.detail},
+    }
+    cname = FAULT_COLOR_BY_PREFIX.get(prefix)
+    if cname:
+        ev["cname"] = cname
+    return ev
+
+
 def build_trace(cpu: Optional[CpuProfiler] = None,
                 timeline: Optional[PhaseTimeline] = None,
-                job_name: str = "repro") -> Dict:
+                job_name: str = "repro",
+                faults: Optional[Iterable] = None) -> Dict:
     """Assemble a Trace Event Format document.
 
     CPU states land in process 0 ("cpu"), phase samples in process 1
-    ("phases"); thread id = rank in both.
+    ("phases"), fault/recovery records in process 2 ("faults"); thread
+    id = rank in all three.  ``faults`` accepts an iterable of
+    :class:`~repro.faults.FaultRecord` or a
+    :class:`~repro.faults.FaultInjector` (its ``records`` are taken).
     """
     events: List[Dict] = [
         {"name": "process_name", "ph": "M", "pid": 0,
@@ -70,14 +111,22 @@ def build_trace(cpu: Optional[CpuProfiler] = None,
         for s in timeline.samples:
             events.append(_event(s.phase, 1, s.rank, s.start, s.end,
                                  f"iter{s.iteration}"))
+    if faults is not None:
+        records = getattr(faults, "records", faults)
+        if records:
+            events.append({"name": "process_name", "ph": "M", "pid": 2,
+                           "args": {"name": f"{job_name}: faults"}})
+        for record in records:
+            events.append(_fault_event(record))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_trace(path: str, cpu: Optional[CpuProfiler] = None,
                 timeline: Optional[PhaseTimeline] = None,
-                job_name: str = "repro") -> int:
+                job_name: str = "repro",
+                faults: Optional[Iterable] = None) -> int:
     """Write the trace JSON to ``path``; returns the event count."""
-    doc = build_trace(cpu, timeline, job_name)
+    doc = build_trace(cpu, timeline, job_name, faults)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)
     return len(doc["traceEvents"])

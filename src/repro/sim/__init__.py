@@ -1,8 +1,15 @@
 """Deterministic discrete-event simulation kernel.
 
-This subpackage is the substrate for the whole reproduction: the cluster,
-the parallel file system, the MPI library, and the collective-computing
-runtime all execute as coroutine processes on one :class:`Kernel`.
+**Role.** The substrate for the whole reproduction: the cluster, the
+parallel file system, the MPI library, and the collective-computing
+runtime all execute as coroutine processes on one :class:`Kernel`, with
+events, timeouts, FIFO resources and deadlock detection.  Identical
+inputs replay identical event orders — the determinism contract every
+figure rests on.
+
+**Paper mapping.** Not in the paper: this layer replaces its physical
+testbed (§V), turning wall-clock measurement into cost-model
+simulation — the substitution DESIGN.md §2 argues for.
 """
 
 from .events import AllOf, AnyOf, Event, Timeout

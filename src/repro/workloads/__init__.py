@@ -1,4 +1,14 @@
-"""Workload builders: synthetic climate, WRF hurricane, INCITE table."""
+"""Workload builders: synthetic climate, WRF hurricane, INCITE table.
+
+**Role.** The datasets and decompositions the experiments analyse:
+4-D synthetic climate fields with interleaved per-rank hyperslabs, a
+WRF-like hurricane built from an analytic vortex (so extrema have a
+checkable ground truth), and the INCITE project registry.
+
+**Paper mapping.** §V's workloads — the 800 GB synthetic climate data,
+the WRF post-processing tasks of Figure 13, and Table I's INCITE
+big-data projects motivating the problem in §I.
+"""
 
 from .climate import (Workload, climate_field, interleaved_workload,
                       ratio_ops_per_element, sparse_subset_workload)

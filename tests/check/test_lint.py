@@ -3,9 +3,9 @@ stays quiet on sanctioned idioms, and respects scoping and waivers."""
 
 from pathlib import Path
 
-from repro.check.lint import (ALL_RULES, LintConfig, ORDERING_RULES,
-                              UNIVERSAL_RULES, lint_paths, lint_source,
-                              module_name_for)
+from repro.check.lint import (ALL_RULES, LintConfig, OPT_IN_RULES,
+                              ORDERING_RULES, UNIVERSAL_RULES, lint_paths,
+                              lint_source, module_name_for)
 
 SIM = "repro.sim.kernel"          # event-ordering package
 OUTSIDE = "repro.profiling.meter"  # not on an event-ordering path
@@ -97,8 +97,22 @@ def test_config_scoping_is_prefix_based():
 
 
 def test_rule_registry_is_partitioned():
-    assert ORDERING_RULES | UNIVERSAL_RULES == ALL_RULES
+    assert ORDERING_RULES | UNIVERSAL_RULES | OPT_IN_RULES == ALL_RULES
     assert not ORDERING_RULES & UNIVERSAL_RULES
+    assert not OPT_IN_RULES & (ORDERING_RULES | UNIVERSAL_RULES)
+
+
+def test_module_docstring_rule_is_opt_in():
+    src = "x = 1\n"
+    assert rules(src) == []  # default config: rule off
+    cfg = LintConfig(require_docstrings=True)
+    findings = lint_source(src, module=SIM, config=cfg)
+    assert [f.rule for f in findings] == ["module-docstring"]
+    assert lint_source('"""Documented."""\nx = 1\n', module=SIM,
+                       config=cfg) == []
+    # Opt-in rules apply outside the event-ordering packages too.
+    findings = lint_source(src, module=OUTSIDE, config=cfg)
+    assert [f.rule for f in findings] == ["module-docstring"]
 
 
 def test_library_source_is_clean():

@@ -1,0 +1,127 @@
+"""FaultPlan: validation, statelessness, seeded determinism."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultPlan
+
+
+# -- validation -------------------------------------------------------------
+
+@pytest.mark.parametrize("field", [
+    "ost_slow_rate", "ost_fail_rate", "agg_crash_rate",
+    "agg_straggle_rate", "msg_drop_rate", "msg_delay_rate",
+])
+@pytest.mark.parametrize("bad", [-0.1, 1.5])
+def test_rates_must_be_probabilities(field, bad):
+    with pytest.raises(FaultError, match=field):
+        FaultPlan(**{field: bad})
+
+
+def test_slow_factor_below_one_rejected():
+    with pytest.raises(FaultError, match="ost_slow_factor"):
+        FaultPlan(ost_slow_factor=0.5)
+
+
+@pytest.mark.parametrize("field", ["agg_straggle_seconds",
+                                   "msg_delay_seconds"])
+def test_negative_durations_rejected(field):
+    with pytest.raises(FaultError, match=field):
+        FaultPlan(**{field: -1.0})
+
+
+def test_boundary_rates_accepted():
+    FaultPlan(ost_fail_rate=0.0, msg_drop_rate=1.0, agg_crash_rate=1.0)
+
+
+# -- uniform / any_faults ---------------------------------------------------
+
+def test_uniform_applies_rate_to_every_class():
+    plan = FaultPlan.uniform(seed=11, rate=0.3)
+    assert plan.seed == 11
+    for field in ("ost_slow_rate", "ost_fail_rate", "agg_crash_rate",
+                  "agg_straggle_rate", "msg_drop_rate", "msg_delay_rate"):
+        assert getattr(plan, field) == 0.3
+
+
+def test_uniform_overrides_win():
+    plan = FaultPlan.uniform(seed=1, rate=0.3, ost_fail_rate=0.01,
+                             agg_straggle_seconds=2.0)
+    assert plan.ost_fail_rate == 0.01
+    assert plan.agg_straggle_seconds == 2.0
+    assert plan.msg_drop_rate == 0.3
+
+
+def test_any_faults():
+    assert not FaultPlan(seed=5).any_faults
+    assert FaultPlan(seed=5, msg_delay_rate=0.1).any_faults
+    assert FaultPlan.uniform(seed=5, rate=0.2).any_faults
+
+
+# -- decisions: zero and certain rates --------------------------------------
+
+def test_zero_rates_inject_nothing():
+    plan = FaultPlan(seed=3)
+    for i in range(50):
+        assert plan.ost_fault(i % 4, i) == (1.0, False)
+        assert plan.aggregator_crash(i, 10) is None
+        assert plan.aggregator_straggle(i, 0) == 0.0
+        assert plan.message_fault(0, i, i) == (False, 0.0)
+
+
+def test_certain_rates_always_fire():
+    plan = FaultPlan(seed=3, ost_fail_rate=1.0, agg_crash_rate=1.0,
+                     agg_straggle_rate=1.0, agg_straggle_seconds=0.7)
+    for i in range(20):
+        _slow, fail = plan.ost_fault(i % 4, i)
+        assert fail
+        crash = plan.aggregator_crash(i, 5)
+        assert crash is not None and 0 <= crash < 5
+        assert plan.aggregator_straggle(i, 2) == 0.7
+
+
+def test_crash_needs_windows():
+    plan = FaultPlan(seed=3, agg_crash_rate=1.0)
+    assert plan.aggregator_crash(0, 0) is None
+    assert plan.aggregator_crash(0, -1) is None
+
+
+def test_drop_wins_over_delay():
+    plan = FaultPlan(seed=3, msg_drop_rate=1.0, msg_delay_rate=1.0)
+    assert plan.message_fault(0, 1, 42) == (True, 0.0)
+
+
+def test_delay_without_drop():
+    plan = FaultPlan(seed=3, msg_delay_rate=1.0, msg_delay_seconds=0.25)
+    assert plan.message_fault(0, 1, 42) == (False, 0.25)
+
+
+# -- determinism ------------------------------------------------------------
+
+def test_decisions_are_stateless_and_order_independent():
+    plan = FaultPlan.uniform(seed=9, rate=0.5)
+    sites = [(o, r) for o in range(3) for r in range(20)]
+    forward = [plan.ost_fault(o, r) for o, r in sites]
+    backward = [plan.ost_fault(o, r) for o, r in reversed(sites)]
+    assert forward == list(reversed(backward))
+    # Asking twice never changes the answer.
+    assert forward == [plan.ost_fault(o, r) for o, r in sites]
+
+
+def test_equal_plans_produce_identical_schedules():
+    a = FaultPlan.uniform(seed=21, rate=0.4)
+    b = FaultPlan.uniform(seed=21, rate=0.4)
+    for i in range(40):
+        assert a.ost_fault(i % 5, i) == b.ost_fault(i % 5, i)
+        assert a.aggregator_crash(i, 8) == b.aggregator_crash(i, 8)
+        assert (a.aggregator_straggle(i, i % 3)
+                == b.aggregator_straggle(i, i % 3))
+        assert a.message_fault(i, i + 1, i) == b.message_fault(i, i + 1, i)
+
+
+def test_different_seeds_differ_somewhere():
+    a = FaultPlan(seed=1, ost_fail_rate=0.5)
+    b = FaultPlan(seed=2, ost_fail_rate=0.5)
+    sites = [(o, r) for o in range(4) for r in range(50)]
+    assert ([a.ost_fault(o, r) for o, r in sites]
+            != [b.ost_fault(o, r) for o, r in sites])

@@ -1,0 +1,149 @@
+"""Recovery policies: retry/backoff, thresholds, orphan assignment."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.config import small_test_machine
+from repro.errors import FaultError, RecoveryError
+from repro.faults import (FaultInjector, FaultPlan, RecoveryPolicy,
+                          RetryPolicy, assign_orphans, degradation_needed,
+                          merge_missed, read_with_retry,
+                          required_aggregators)
+from repro.mpi import mpi_run
+from repro.sim import Kernel
+
+
+# -- policy validation ------------------------------------------------------
+
+def test_retry_policy_validation():
+    with pytest.raises(FaultError, match="max_retries"):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(FaultError, match="backoff"):
+        RetryPolicy(backoff_base=-0.1)
+    with pytest.raises(FaultError, match="backoff"):
+        RetryPolicy(backoff_factor=0.5)
+    RetryPolicy(max_retries=0)  # zero retries = one attempt, legal
+
+
+def test_retry_delay_is_exponential():
+    policy = RetryPolicy(backoff_base=0.01, backoff_factor=3.0)
+    assert policy.delay(0) == pytest.approx(0.01)
+    assert policy.delay(1) == pytest.approx(0.03)
+    assert policy.delay(2) == pytest.approx(0.09)
+
+
+def test_recovery_policy_validation():
+    with pytest.raises(FaultError, match="read_timeout"):
+        RecoveryPolicy(read_timeout=0.0)
+    with pytest.raises(FaultError, match="min_aggregator_fraction"):
+        RecoveryPolicy(min_aggregator_fraction=1.5)
+    with pytest.raises(FaultError, match="max_rounds"):
+        RecoveryPolicy(max_rounds=0)
+
+
+# -- degradation thresholds -------------------------------------------------
+
+def test_required_aggregators_ceil_and_floor():
+    assert required_aggregators(4, 0.5) == 2
+    assert required_aggregators(5, 0.5) == 3   # ceil, not round
+    assert required_aggregators(3, 0.0) == 1   # never below one
+    assert required_aggregators(3, 1.0) == 3
+
+
+def test_degradation_threshold_exactly_met_stays_collective():
+    # 4 originals at fraction 0.5 need ceil(2) = 2: exactly 2 alive is
+    # still collective; one fewer degrades.
+    assert not degradation_needed(2, 4, 0.5)
+    assert degradation_needed(1, 4, 0.5)
+    # fraction 1.0: any loss at all degrades.
+    assert not degradation_needed(3, 3, 1.0)
+    assert degradation_needed(2, 3, 1.0)
+    # fraction 0.0: one survivor is always enough.
+    assert not degradation_needed(1, 8, 0.0)
+    assert degradation_needed(0, 8, 0.0)
+
+
+# -- orphan assignment / agreement folding ----------------------------------
+
+def test_assign_orphans_round_robin():
+    missing = [(0, 0), (0, 1), (1, 0), (2, 3)]
+    assignment = assign_orphans(missing, [4, 8])
+    assert assignment == {(0, 0): 4, (0, 1): 8, (1, 0): 4, (2, 3): 8}
+
+
+def test_assign_orphans_without_survivors_raises():
+    with pytest.raises(RecoveryError, match="no surviving aggregator"):
+        assign_orphans([(0, 0)], [])
+
+
+def test_merge_missed_folds_allgathered_entries():
+    entries = [((1, 0),), (), ((0, 2), (1, 0)), ((0, 2),)]
+    missing, missed_by = merge_missed(entries)
+    assert missing == [(0, 2), (1, 0)]
+    assert missed_by == {(0, 2): [2, 3], (1, 0): [0, 2]}
+    # Tuples normalised even if entries arrive as lists.
+    missing2, missed_by2 = merge_missed([[[1, 0]], [[0, 2], [1, 0]], [], []])
+    assert missing2 == [(0, 2), (1, 0)]
+    assert missed_by2[(1, 0)] == [0, 1]
+
+
+# -- read_with_retry end to end ---------------------------------------------
+
+class ScriptedInjector(FaultInjector):
+    """Injector whose OST decisions follow a fixed script — exact
+    control over which attempts fail, independent of hash draws."""
+
+    def __init__(self, plan, kernel, script):
+        super().__init__(plan, kernel)
+        self.script = list(script)
+
+    def ost_decision(self, ost_index):
+        fail = self.script.pop(0) if self.script else False
+        if fail:
+            self.record("inject:ost-fail", f"ost{ost_index}", "scripted")
+        return 1.0, fail
+
+
+def run_scripted_read(script, max_retries, nbytes=256):
+    k = Kernel()
+    m = Machine(k, small_test_machine(nodes=1, cores_per_node=4,
+                                      n_osts=3, stripe_size=512))
+    f = m.fs.create_procedural_file("r.bin", 1024, dtype=np.float64,
+                                    func=lambda idx: idx * 1.0,
+                                    stripe_size=512)
+    # any_faults must be truthy for LustreFS.read to consult the hook.
+    inj = ScriptedInjector(FaultPlan(seed=0, ost_fail_rate=0.5), k, script)
+    m.faults = inj
+    m.fs.faults = inj
+    policy = RetryPolicy(max_retries=max_retries, backoff_base=0.001)
+
+    def main(ctx):
+        data = yield from read_with_retry(ctx, f, 0, nbytes, policy)
+        return bytes(data)
+
+    results = mpi_run(m, 1, main)
+    return results[0], inj, f
+
+
+def test_retry_succeeds_on_last_permitted_attempt():
+    # max_retries=2 allows 3 attempts; the first two fail.
+    data, inj, f = run_scripted_read([True, True, False], max_retries=2)
+    assert data == bytes(f.source.read(0, 256))
+    assert [r.kind for r in inj.recovered()] == ["recover:retry"] * 2
+
+
+def test_fault_on_last_retry_raises_recovery_error():
+    with pytest.raises(RecoveryError, match="still failing after 2"):
+        run_scripted_read([True, True, True], max_retries=2)
+
+
+def test_zero_retries_fail_immediately():
+    with pytest.raises(RecoveryError):
+        run_scripted_read([True], max_retries=0)
+
+
+def test_no_faults_no_retries():
+    data, inj, f = run_scripted_read([], max_retries=3)
+    assert data == bytes(f.source.read(0, 256))
+    assert inj.recovered() == []
