@@ -13,13 +13,23 @@ Two stages, both on by default:
    one) — so the protocol verifier, the plan sanitizers, and the
    recovery-coverage check run against real schedules.
 
-Exit status: 0 clean, 1 findings/sanitizer failure, 2 usage error.
+A third, opt-in stage replaces both: ``--chaos [N]`` runs the
+end-to-end data-integrity campaign of :mod:`repro.check.chaos` — ``N``
+seeded jobs sweeping corruption rates and scenarios, asserting
+bit-identical results, strict inject/detect matching, and a consistent
+fault ledger.  Failures name the offending ``seed=... scenario=...``
+so any job replays exactly.
+
+Exit status: 0 clean, 1 findings/sanitizer/campaign failure, 2 usage
+error.
 
 Usage::
 
     PYTHONPATH=src python -m repro.check            # lint + smoke
     python -m repro.check src/repro --static-only   # lint only
     python -m repro.check --static-only --require-docstrings src/repro
+    python -m repro.check --chaos 25                # integrity campaign
+    python -m repro.check --chaos 8 --chaos-seed 100
     python -m repro.check --list-rules
 """
 
@@ -231,6 +241,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--require-docstrings", action="store_true",
                         help="also fail on modules without a docstring "
                              "(used by the CI API-reference job)")
+    parser.add_argument("--chaos", type=int, nargs="?", const=12,
+                        default=None, metavar="N",
+                        help="run only the data-integrity chaos campaign "
+                             "(N seeded corruption jobs; default 12)")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        metavar="SEED",
+                        help="base seed for the chaos campaign "
+                             "(job i uses SEED + i; default 0)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="only print findings/failures")
     args = parser.parse_args(argv)
@@ -249,6 +267,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("--static-only and --smoke-only are mutually exclusive",
               file=sys.stderr)
         return 2
+    if args.chaos is not None:
+        if args.static_only or args.smoke_only:
+            print("--chaos cannot be combined with --static-only or "
+                  "--smoke-only", file=sys.stderr)
+            return 2
+        if args.chaos < 1:
+            print(f"--chaos needs a positive run count, got {args.chaos}",
+                  file=sys.stderr)
+            return 2
+        from .chaos import run_campaign
+        return run_campaign(args.chaos, base_seed=args.chaos_seed,
+                            quiet=args.quiet)
 
     status = 0
     if not args.smoke_only:

@@ -49,6 +49,11 @@ class Machine:
         #: present, point-to-point messages consult it for injected
         #: drops and delays.
         self.faults = None
+        #: Set by :meth:`repro.integrity.IntegrityManager.attach`: when
+        #: present, window messages carry payload digests verified on
+        #: receive and partial results carry provenance digests
+        #: re-verified at reduce time.
+        self.integrity = None
 
     # -- placement -------------------------------------------------------
     def node_of_rank(self, rank: int, nprocs: int) -> int:

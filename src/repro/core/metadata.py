@@ -17,7 +17,7 @@ per dimension per block) plus the payload size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..dataspace import LogicalBlock
 
@@ -41,6 +41,12 @@ class PartialResult:
         The operator partial (scalar, tuple, small array).
     payload_nbytes:
         Wire size of ``payload`` as reported by the operator.
+    digest:
+        Provenance digest stamped at map time by the integrity layer
+        (:func:`repro.integrity.partial_digest` over every field *but*
+        this one), or ``None`` when integrity is off.  Re-verified at
+        reduce time; carried on the wire, so it adds exactly its own
+        length to :meth:`wire_size`.
     """
 
     dest_rank: int
@@ -48,6 +54,7 @@ class PartialResult:
     blocks: Tuple[LogicalBlock, ...]
     payload: Any
     payload_nbytes: int
+    digest: Optional[bytes] = None
 
     @property
     def ndims(self) -> int:
@@ -59,8 +66,9 @@ class PartialResult:
         return HEADER_BYTES + len(self.blocks) * self.ndims * 16
 
     def wire_size(self) -> int:
-        """Total message contribution: metadata + payload."""
-        return self.metadata_nbytes() + self.payload_nbytes
+        """Total message contribution: metadata + payload (+ digest)."""
+        extra = len(self.digest) if self.digest is not None else 0
+        return self.metadata_nbytes() + self.payload_nbytes + extra
 
 
 @dataclass

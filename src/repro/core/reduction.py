@@ -51,10 +51,17 @@ def combine_partials(ctx: RankContext, op: MapReduceOp,
     """Merge a batch of partials into one payload, charging CPU time.
 
     Returns the combined payload, or the ``_EMPTY``-mapped ``None`` when
-    the batch is empty.
+    the batch is empty.  With an integrity manager attached to the
+    machine, each digest-stamped partial is re-verified moments before
+    it is merged — the last checkpoint a corrupted partial can be
+    caught at before it poisons the reduction.
     """
     if not partials:
         return None
+    integ = getattr(ctx.machine, "integrity", None)
+    if integ is not None:
+        integ.verify_partials(ctx, partials,
+                              f"rank {ctx.rank} local combine")
     acc: Any = _EMPTY
     blocks = 0
     for p in partials:

@@ -57,6 +57,15 @@ class RecoveryError(FaultError):
     degraded (independent-I/O) path can complete the job."""
 
 
+class IntegrityError(FaultError):
+    """Raised when checksummed data fails verification: a served extent
+    whose per-stripe-block CRC32C digests no longer match the file's
+    (silent storage corruption), or a partial result whose provenance
+    digest diverges from its payload at reduce time.  Retryable on the
+    read path — :func:`repro.faults.read_with_retry` absorbs it like a
+    transient EIO, since a re-read serves fresh bytes."""
+
+
 class DataspaceError(ReproError):
     """Raised for invalid logical data-space descriptions (negative
     extents, out-of-bounds subarrays, dtype mismatches)."""

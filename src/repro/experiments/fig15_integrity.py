@@ -1,0 +1,163 @@
+"""Figure 15 — end-to-end integrity: detection/repair cost vs corruption.
+
+Beyond the paper: its pipelines assume storage and interconnect deliver
+the bytes they were given, and PR 3's fault model (Figure 14) covers
+only *fail-stop* faults — a crash, a timeout, a lost message.  This
+experiment prices the remaining fault class: **silent corruption**.  A
+pure-corruption :class:`~repro.faults.FaultPlan` (no drops, crashes or
+delays — every injected fault is a flipped bit) corrupts served OST
+extents and in-flight shuffle payloads at a swept rate, with the
+:class:`~repro.integrity.IntegrityManager` attached: reads are verified
+against per-stripe-block CRC32C digests (mismatch → bounded re-read),
+wire payloads carry digests checked on receive (mismatch → re-serve
+round), and partial results carry provenance digests re-verified at
+reduce time.
+
+Series, per corruption rate: completion time and wire bytes for
+resilient collective computing vs the resilient two-phase baseline,
+plus the campaign ledger (bits injected, detections, repair actions).
+``result_ok`` compares every row bit-for-bit against the *checksums-off
+fault-free* reference — the integrity machinery must change no output
+bit, whether it is idle (rate 0) or repairing hundreds of flips.
+Expected shape: overhead grows roughly linearly with the rate (each
+detection costs one bounded re-read or one extra serve of one window),
+and CC's repair traffic stays below the baseline's because re-serving a
+window re-ships compact partials, not raw window bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..cluster import Machine
+from ..config import KiB, MiB
+from ..core import ObjectIO, SUM_OP
+from ..faults import (FaultInjector, FaultPlan, RecoveryPolicy,
+                      RetryPolicy)
+from ..faults.resilient import resilient_object_get
+from ..integrity import IntegrityManager
+from ..mpi import mpi_run
+from ..sim import Kernel
+from ..workloads.climate import Workload, interleaved_workload
+from .common import (DEFAULT_HINTS, ExperimentResult, hopper_platform,
+                     with_sanitizers)
+
+#: Corruption rates swept (0.0 first: prices the idle integrity layer
+#: and anchors the bit-identity reference).
+CORRUPT_RATES: Tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.1)
+#: Fault-plan seed (the whole corruption schedule derives from it).
+SEED = 2015
+
+
+def _corruption_plan(rate: float, seed: int) -> Optional[FaultPlan]:
+    """A *pure corruption* plan: every injected fault is a silently
+    flipped bit (storage or wire), so the measured overhead is the
+    integrity layer's alone — no crash/timeout recovery in the mix."""
+    if rate == 0.0:
+        return None
+    return FaultPlan(seed=seed, corrupt_ost_rate=rate,
+                     corrupt_msg_rate=rate)
+
+
+def _run_checked(platform, workload: Workload, op, *, block: bool,
+                 plan: Optional[FaultPlan], policy: RecoveryPolicy,
+                 checksums: bool) -> Tuple[float, int, int, int, Any]:
+    """One job; returns (completion time, wire bytes, detections,
+    repair-record count, root's global result)."""
+    kernel = Kernel()
+    machine = Machine(kernel, platform)
+    nprocs = workload.nprocs
+    machine.validate_job(nprocs)
+    file = machine.fs.create_procedural_file(
+        "dataset.nc", workload.dspec.n_elements,
+        dtype=workload.dspec.dtype, stripe_size=1 * MiB, stripe_count=-1)
+    integ = IntegrityManager.attach(machine) if checksums else None
+    if plan is not None:
+        FaultInjector.attach(machine, plan)
+    finish = [0.0] * nprocs
+
+    def main(ctx):
+        oio = ObjectIO(workload.dspec, workload.parts[ctx.rank], op,
+                       block=block, hints=DEFAULT_HINTS)
+        result = yield from resilient_object_get(ctx, file, oio,
+                                                 policy=policy)
+        finish[ctx.rank] = ctx.kernel.now
+        return result
+
+    results = mpi_run(machine, nprocs, main)
+    wire = machine.network.inter_node_bytes + machine.network.intra_node_bytes
+    detected = integ.detected() if integ is not None else 0
+    repaired = 0
+    if machine.faults is not None:
+        repaired = len(machine.faults.recovered())
+        FaultInjector.detach(machine)
+    if integ is not None:
+        IntegrityManager.detach(machine)
+    return max(finish), wire, detected, repaired, results[0].global_result
+
+
+@with_sanitizers
+def run(nprocs: int = 24, per_rank_kib: int = 64,
+        corrupt_rates: Sequence[float] = CORRUPT_RATES,
+        seed: int = SEED) -> ExperimentResult:
+    """Regenerate Figure 15 (completion time and wire bytes vs silent
+    corruption rate, checksummed CC vs checksummed two-phase, verified
+    bit-identical to the checksums-off fault-free run)."""
+    platform = hopper_platform(max(1, -(-nprocs // 24)))
+    workload = interleaved_workload(nprocs,
+                                    per_rank_bytes=per_rank_kib * KiB)
+    op = SUM_OP
+    policy = RecoveryPolicy(retry=RetryPolicy(max_retries=6))
+    # The reference: checksums off, no faults.  Every checksummed row —
+    # including the corrupted ones — must reproduce it bit-for-bit.
+    _, _, _, _, cc_ref = _run_checked(
+        platform, workload, op, block=False, plan=None, policy=policy,
+        checksums=False)
+    _, _, _, _, mpi_ref = _run_checked(
+        platform, workload, op, block=True, plan=None, policy=policy,
+        checksums=False)
+    rows: List[Tuple] = []
+    for rate in corrupt_rates:
+        plan = _corruption_plan(rate, seed)
+        cc_t, cc_b, cc_det, cc_rep, cc_res = _run_checked(
+            platform, workload, op, block=False, plan=plan, policy=policy,
+            checksums=True)
+        mpi_t, mpi_b, mpi_det, mpi_rep, mpi_res = _run_checked(
+            platform, workload, op, block=True, plan=plan, policy=policy,
+            checksums=True)
+        ok = (cc_res == cc_ref and mpi_res == mpi_ref)
+        rows.append((rate, round(mpi_t, 4), round(cc_t, 4),
+                     round(mpi_b / MiB, 3), round(cc_b / MiB, 3),
+                     mpi_det + cc_det, mpi_rep + cc_rep, ok))
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Silent corruption: checksummed CC vs checksummed two-phase",
+        headers=["corrupt_rate", "mpi_s", "cc_s", "mpi_wire_mib",
+                 "cc_wire_mib", "detected", "repairs", "result_ok"],
+        rows=rows,
+        plot_spec=("corrupt_rate", ("mpi_s", "cc_s")),
+        settings=[
+            ("processes", nprocs),
+            ("per-rank request (KiB)", per_rank_kib),
+            ("fault-plan seed", seed),
+            ("receive timeout (s)", policy.read_timeout),
+            ("retry budget", policy.retry.max_retries),
+        ],
+        paper_expectation=(
+            "not in the paper (it assumes faithful storage and wires): "
+            "every row reduces to the checksums-off fault-free numbers "
+            "(result_ok) — detection plus bounded repair keeps silent "
+            "corruption out of the answer at every swept rate; overhead "
+            "grows with the rate as each flipped bit costs one re-read "
+            "or one re-served window, and CC repairs stay cheaper on "
+            "the wire because its re-serves ship compact partials"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

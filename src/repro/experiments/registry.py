@@ -10,7 +10,8 @@ from typing import Callable, Dict, List
 
 from . import (fig01_io_profile, fig02_cpu_collective, fig03_cpu_independent,
                fig09_ratio_speedup, fig10_scalability, fig11_overhead,
-               fig12_metadata, fig13_wrf, fig14_faults, table1_incite)
+               fig12_metadata, fig13_wrf, fig14_faults, fig15_integrity,
+               table1_incite)
 from .common import ExperimentResult
 
 #: All experiments, in paper order.
@@ -25,6 +26,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig12": fig12_metadata.run,
     "fig13": fig13_wrf.run,
     "fig14": fig14_faults.run,
+    "fig15": fig15_integrity.run,
 }
 
 

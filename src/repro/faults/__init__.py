@@ -2,11 +2,12 @@
 
 **Role.** A seeded, deterministic fault model for the simulated
 machine — slow/failed OST requests, straggler or fail-stop aggregator
-ranks, dropped/delayed point-to-point messages — plus the recovery
-machinery that lets the paper's pipeline survive it: bounded retry with
-exponential backoff, timed receives with aggregator failover over the
-existing :class:`~repro.io.twophase.TwoPhasePlan` artifacts, and
-graceful degradation to independent I/O.
+ranks, dropped/delayed point-to-point messages, and silently corrupted
+storage/wire bytes (detected by :mod:`repro.integrity`) — plus the
+recovery machinery that lets the paper's pipeline survive it: bounded
+retry with exponential backoff, timed receives with aggregator failover
+over the existing :class:`~repro.io.twophase.TwoPhasePlan` artifacts,
+and graceful degradation to independent I/O.
 
 **Paper mapping.** The paper (§V, conclusion) evaluates on a healthy
 Hopper/Lustre testbed and names fault tolerance of collective computing
@@ -25,7 +26,8 @@ from .injector import FaultInjector, FaultRecord
 from .plan import FaultPlan
 from .recovery import (RecoveryPolicy, RetryPolicy, assign_orphans,
                        degradation_needed, merge_missed,
-                       read_with_retry, required_aggregators)
+                       merge_missed_pairs, read_with_retry,
+                       required_aggregators)
 from .resilient import (resilient_cc_read_compute,
                         resilient_collective_read, resilient_object_get,
                         resilient_traditional_read_compute)
@@ -41,6 +43,7 @@ __all__ = [
     "degradation_needed",
     "assign_orphans",
     "merge_missed",
+    "merge_missed_pairs",
     "resilient_collective_read",
     "resilient_cc_read_compute",
     "resilient_traditional_read_compute",

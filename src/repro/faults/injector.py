@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..integrity.corrupt import corrupt_object
 from .plan import FaultPlan
 
 
@@ -38,7 +39,10 @@ class FaultRecord:
     ``kind`` is namespaced: ``inject:*`` for faults the injector
     created (``inject:ost-slow``, ``inject:ost-fail``,
     ``inject:agg-crash``, ``inject:agg-straggle``, ``inject:msg-drop``,
-    ``inject:msg-delay``) and ``recover:*`` for the protocol's
+    ``inject:msg-delay``, ``inject:ost-corrupt``,
+    ``inject:msg-corrupt``), ``detect:*`` for checksum verdicts of the
+    integrity layer (``detect:ost-corrupt``, ``detect:msg-corrupt``,
+    ``detect:partial-corrupt``) and ``recover:*`` for the protocol's
     responses (``recover:retry``, ``recover:failover``,
     ``recover:degraded``).
     """
@@ -70,6 +74,9 @@ class FaultInjector:
         #: Chronological log of injected faults and recovery actions.
         self.records: List[FaultRecord] = []
         self._ost_request_index: Dict[int, int] = {}
+        #: Per-(file, digest block) read occurrence counters, so every
+        #: re-read of a block draws a fresh corruption decision.
+        self._block_occurrence: Dict[Tuple[str, int], int] = {}
         #: Tag ranges (lo, hi) whose messages the plan may drop.
         self._droppable: List[Tuple[int, int]] = []
 
@@ -87,9 +94,19 @@ class FaultInjector:
     @staticmethod
     def detach(machine) -> None:
         """Remove fault injection from ``machine`` (records survive on
-        the detached injector; the kernel's weak watcher expires)."""
+        the detached injector; the kernel's weak watcher expires).
+
+        The detached injector's droppable-tag ranges and per-OST /
+        per-block counters are cleared, so re-``attach``-ing it (or a
+        fresh injector) to the same machine starts from a clean slate
+        instead of inheriting half a run's worth of decision state."""
+        injector = getattr(machine, "faults", None)
         machine.faults = None
         machine.fs.faults = None
+        if injector is not None:
+            injector._droppable.clear()
+            injector._ost_request_index.clear()
+            injector._block_occurrence.clear()
 
     # -- logging -----------------------------------------------------------
     def record(self, kind: str, location: str, detail: str) -> None:
@@ -104,6 +121,11 @@ class FaultInjector:
     def recovered(self) -> List[FaultRecord]:
         """Only the ``recover:*`` records (what the protocol did)."""
         return [r for r in self.records if r.kind.startswith("recover:")]
+
+    def detected(self) -> List[FaultRecord]:
+        """Only the ``detect:*`` records (the integrity layer's
+        checksum verdicts, logged via :meth:`record`)."""
+        return [r for r in self.records if r.kind.startswith("detect:")]
 
     def describe_blocked(self) -> List[str]:
         """Deadlock-report lines: the most recent injected fault, so a
@@ -184,3 +206,62 @@ class FaultInjector:
             self.record("inject:msg-delay", f"{msg.source}->{msg.dest}",
                         f"tag {msg.tag} delivered {delay:g}s late")
         return False, delay
+
+    # -- silent corruption hooks -------------------------------------------
+    def corrupt_served(self, file, offset: int, data: bytes) -> bytes:
+        """Maybe flip one bit per digest block of a served extent.
+
+        Called by :meth:`repro.pfs.LustreFS.read` on the *served copy*
+        — the backing :class:`~repro.pfs.datasource.DataSource` stays
+        pristine, so a re-read serves fresh (and freshly-decided)
+        bytes.  Decisions are keyed by ``(OST, block, occurrence)``
+        with a per-``(file, block)`` occurrence counter, making the
+        corruption transient exactly like an injected EIO.
+        """
+        nbytes = len(data)
+        if nbytes == 0:
+            return data
+        block = file.digest_block or file.layout.stripe_size
+        end = offset + nbytes
+        buf = None
+        for b in range(offset // block, (end - 1) // block + 1):
+            k = self._block_occurrence.get((file.name, b), 0)
+            self._block_occurrence[(file.name, b)] = k + 1
+            ost = file.layout.ost_of(b * block)
+            u = self.plan.ost_corruption(ost, b, k)
+            if u is None:
+                continue
+            lo = max(offset, b * block)
+            hi = min(end, (b + 1) * block)
+            nbits = (hi - lo) * 8
+            bit = min(int(u * nbits), nbits - 1)
+            if buf is None:
+                buf = bytearray(data)
+            pos = (lo - offset) * 8 + bit
+            buf[pos >> 3] ^= 1 << (pos & 7)
+            self.record("inject:ost-corrupt", f"ost{ost}",
+                        f"bit {bit} of block {b} of {file.name!r} "
+                        f"flipped on read #{k}")
+        return bytes(buf) if buf is not None else data
+
+    def corrupt_message(self, msg):
+        """Maybe flip one bit in a delivered data-plane payload.
+
+        Called by :meth:`repro.mpi.comm.Communicator._send_proc` for
+        messages that were *not* dropped.  Like drops, corruption only
+        applies inside registered droppable tag ranges: the control
+        plane (collectives, agreement rounds) stays trustworthy, so
+        checksum verdicts themselves cannot be forged.  Returns the
+        (possibly corrupted copy of the) payload.
+        """
+        if not self._droppable_tag(msg.tag):
+            return msg.data
+        draw = self.plan.message_corruption(msg.source, msg.dest, msg.tag)
+        if draw is None:
+            return msg.data
+        corrupted, desc = corrupt_object(msg.data, *draw)
+        if not desc:  # no corruptible leaf (e.g. a bare key tuple)
+            return msg.data
+        self.record("inject:msg-corrupt", f"{msg.source}->{msg.dest}",
+                    f"tag {msg.tag}: {desc}")
+        return corrupted

@@ -24,6 +24,14 @@ Three fault classes mirror where production collective I/O degrades:
     Dropped or delayed point-to-point data-plane messages (the lossy
     bulk network C-Coll trades fidelity against), keyed by
     ``(source, dest, tag)``.
+``corrupt``
+    *Silent* corruption — a bit flipped in an OST's served bytes, keyed
+    by ``(ost, block, occurrence)`` (the occurrence counter makes
+    re-reads draw fresh decisions, so retry can repair), or a bit
+    flipped in an in-transit data-plane payload, keyed by
+    ``(source, dest, tag)``.  Without the :mod:`repro.integrity` layer
+    attached, these flips flow straight into the reduction — exactly
+    the failure mode the checksums exist to catch.
 
 The plan only *decides*; :class:`repro.faults.injector.FaultInjector`
 applies decisions at the hook points and logs what was injected.
@@ -91,6 +99,19 @@ class FaultPlan:
     msg_delay_rate / msg_delay_seconds:
         Fraction of data-plane messages delivered late by
         ``msg_delay_seconds``.
+    corrupt_ost_rate:
+        Probability that one (digest block, read occurrence) of a
+        served extent has a bit silently flipped in the served copy —
+        the source stays pristine, so a re-read can repair.
+    corrupt_msg_rate:
+        Probability that a delivered data-plane message (inside a
+        registered droppable tag range) has one bit of its payload
+        flipped in transit.
+
+    The corruption rates are deliberately *not* part of
+    :meth:`uniform` — the fault-rate experiments (Figure 14) predate
+    them and must keep their exact schedules; corruption sweeps set the
+    ``corrupt_*`` fields explicitly (Figure 15, the chaos campaign).
     """
 
     seed: int = 0
@@ -103,10 +124,13 @@ class FaultPlan:
     msg_drop_rate: float = 0.0
     msg_delay_rate: float = 0.0
     msg_delay_seconds: float = 0.01
+    corrupt_ost_rate: float = 0.0
+    corrupt_msg_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("ost_slow_rate", "ost_fail_rate", "agg_crash_rate",
-                     "agg_straggle_rate", "msg_drop_rate", "msg_delay_rate"):
+                     "agg_straggle_rate", "msg_drop_rate", "msg_delay_rate",
+                     "corrupt_ost_rate", "corrupt_msg_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise FaultError(f"{name} must be in [0, 1], got {value}")
@@ -136,7 +160,8 @@ class FaultPlan:
         """Whether this plan can inject anything at all."""
         return any((self.ost_slow_rate, self.ost_fail_rate,
                     self.agg_crash_rate, self.agg_straggle_rate,
-                    self.msg_drop_rate, self.msg_delay_rate))
+                    self.msg_drop_rate, self.msg_delay_rate,
+                    self.corrupt_ost_rate, self.corrupt_msg_rate))
 
     # -- decisions ---------------------------------------------------------
     def ost_fault(self, ost_index: int, request_index: int
@@ -188,3 +213,30 @@ class FaultPlan:
                                             dest, tag) < self.msg_delay_rate:
             return False, self.msg_delay_seconds
         return False, 0.0
+
+    def ost_corruption(self, ost_index: int, block_index: int,
+                       occurrence: int) -> Optional[float]:
+        """Bit-position draw in [0, 1) when the ``occurrence``-th read
+        of digest block ``block_index`` on OST ``ost_index`` is served
+        with a flipped bit, else ``None``.  Keying by occurrence is
+        what makes the fault *transient*: a re-read of the same block
+        draws an independent decision, so bounded retry can repair."""
+        if (not self.corrupt_ost_rate
+                or _uniform(self.seed, "ost-corrupt", ost_index, block_index,
+                            occurrence) >= self.corrupt_ost_rate):
+            return None
+        return _uniform(self.seed, "ost-corrupt-bit", ost_index, block_index,
+                        occurrence)
+
+    def message_corruption(self, source: int, dest: int, tag: int
+                           ) -> Optional[Tuple[float, float]]:
+        """``(leaf draw, bit draw)`` in [0, 1) when this data-plane
+        message identity is corrupted in transit, else ``None``.  Each
+        re-serve of a window uses a fresh tag, so repair rounds draw
+        independent decisions."""
+        if (not self.corrupt_msg_rate
+                or _uniform(self.seed, "msg-corrupt", source, dest, tag)
+                >= self.corrupt_msg_rate):
+            return None
+        return (_uniform(self.seed, "msg-corrupt-leaf", source, dest, tag),
+                _uniform(self.seed, "msg-corrupt-bit", source, dest, tag))

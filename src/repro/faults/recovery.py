@@ -27,7 +27,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Sequence, Tuple
 
-from ..errors import FaultError, RecoveryError, TransientIOError
+from ..errors import (FaultError, IntegrityError, RecoveryError,
+                      TransientIOError)
 
 #: A window's identity across recovery rounds: its position in the
 #: original plan — ``(aggregator index, iteration)``.
@@ -103,12 +104,18 @@ class RecoveryPolicy:
 
 def read_with_retry(ctx, file, offset: int, nbytes: int,
                     policy: RetryPolicy) -> Generator:
-    """Read with bounded exponential backoff over transient EIOs.
+    """Read with bounded exponential backoff over retryable failures.
 
     Generator (``yield from`` inside a rank process).  Returns the bytes
-    on success; raises :class:`~repro.errors.RecoveryError` when the
-    read still fails on the last permitted retry.  Each absorbed failure
-    is logged as a ``recover:retry`` record on the machine's injector.
+    on success.  Both fault classes a re-read can repair are absorbed:
+    injected transient EIOs (:class:`~repro.errors.TransientIOError`)
+    and checksum mismatches on served extents
+    (:class:`~repro.errors.IntegrityError` — the source is pristine, so
+    fresh bytes verify).  When the read still fails on the last
+    permitted attempt, a :class:`~repro.errors.RecoveryError` is raised
+    naming the extent, the retry budget and the final cause (which
+    itself names the failing OST).  Each absorbed failure is logged as
+    a ``recover:retry`` record on the machine's injector.
     """
     faults = getattr(ctx.machine, "faults", None)
     for attempt in range(policy.max_retries + 1):
@@ -116,17 +123,20 @@ def read_with_retry(ctx, file, offset: int, nbytes: int,
             data = yield from ctx.fs.read(file, offset, nbytes,
                                           client=ctx.node.index)
             return data
-        except TransientIOError as exc:
+        except (TransientIOError, IntegrityError) as exc:
             if attempt == policy.max_retries:
                 raise RecoveryError(
                     f"read [{offset}, {offset + nbytes}) of {file.name!r} "
-                    f"still failing after {policy.max_retries} retries"
+                    f"still failing after {policy.max_retries} retries "
+                    f"({policy.max_retries + 1} attempts; last: {exc})"
                 ) from exc
             delay = policy.delay(attempt)
             if faults is not None:
+                kind = ("checksum mismatch"
+                        if isinstance(exc, IntegrityError) else "EIO")
                 faults.record(
                     "recover:retry", f"rank{ctx.rank}",
-                    f"EIO on [{offset}, {offset + nbytes}), retry "
+                    f"{kind} on [{offset}, {offset + nbytes}), retry "
                     f"{attempt + 1}/{policy.max_retries} after {delay:g}s")
             yield ctx.kernel.timeout(delay)
     raise AssertionError("unreachable")  # pragma: no cover
@@ -176,3 +186,25 @@ def merge_missed(entries: Sequence[Sequence[WindowKey]]
             missed_by.setdefault(tuple(w), []).append(r)
     missing = sorted(missed_by)
     return missing, missed_by
+
+
+def merge_missed_pairs(
+    entries: Sequence[Tuple[Sequence[WindowKey], Sequence[WindowKey]]]
+) -> Tuple[List[WindowKey], Dict[WindowKey, List[int]], List[WindowKey]]:
+    """Fold allgathered ``(timeout missed, corrupt missed)`` pair
+    entries — the agreement format used when wire digests are on —
+    into ``(missing, missed_by, timeout_missing)``.
+
+    ``missing`` and ``missed_by`` cover *both* miss kinds (every such
+    window must be re-served); ``timeout_missing`` lists only the
+    timed-out windows, the ones that indict their server — a corrupt
+    delivery proves its server alive, so it must not feed the suspect
+    set.
+    """
+    t_missing, t_by = merge_missed([e[0] for e in entries])
+    _c_missing, c_by = merge_missed([e[1] for e in entries])
+    missed_by: Dict[WindowKey, List[int]] = {
+        w: list(ranks) for w, ranks in t_by.items()}
+    for w, ranks in c_by.items():
+        missed_by[w] = sorted(set(missed_by.get(w, [])) | set(ranks))
+    return sorted(missed_by), missed_by, t_missing

@@ -29,14 +29,26 @@ re-served duplicates are identified by key and never double-counted —
 essential for the collective-computing path, where double-combining a
 partial result would corrupt the reduction.
 
+With an :class:`~repro.integrity.IntegrityManager` attached (wire
+digests on), window messages instead travel as
+``(key, payload, digest)`` and are verified on receive: a corrupted
+payload is counted as *missed* — without indicting its server, which
+demonstrably lives — and re-served next round under a fresh tag, so an
+in-transit bit flip costs a repair round, never correctness.  The
+agreement entries then carry ``(timeout missed, corrupt missed)``
+pairs; the legacy single-list format (and its allgather bytes) is kept
+bit-identical whenever integrity is off.
+
 Only the data-plane tags of each round are registered as droppable with
 the injector; agreement allgathers and degraded-mode gathers ride the
 reliable control plane, so injected loss can delay recovery but never
-wedge it.
+wedge it.  Corruption obeys the same boundary: only droppable-tagged
+payloads are ever flipped, so checksum verdicts cannot be forged.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
@@ -54,12 +66,14 @@ from ..errors import CollectiveComputingError, RecoveryError
 from ..io import AccessRequest
 from ..io.hints import CollectiveHints
 from ..io.requests import RunPlacer
+from ..integrity.digest import partial_digest, payload_digest
 from ..io.twophase import TwoPhasePlan, _extract_pieces, make_plan
 from ..mpi import RankContext, collectives as coll
 from ..pfs import PFSFile
 from ..profiling import PhaseTimeline
 from .recovery import (RecoveryPolicy, WindowKey, assign_orphans,
-                       degradation_needed, merge_missed, read_with_retry)
+                       degradation_needed, merge_missed, merge_missed_pairs,
+                       read_with_retry)
 
 #: ``make_payload`` callback: generator producing one destination's
 #: payload for one window (maps CC pieces / extracts raw pieces).
@@ -87,6 +101,8 @@ def _serve_round(ctx: RankContext, file: PFSFile, plan: TwoPhasePlan,
     aggregation *role* fail-stops; the rank itself lives on to take part
     in the agreement)."""
     faults = getattr(ctx.machine, "faults", None)
+    integ = getattr(ctx.machine, "integrity", None)
+    wire_on = integ is not None and integ.config.wire_digests
     crash_at = (faults.crash_iteration(ctx.rank, len(assigned), round_index)
                 if faults is not None else None)
     for k, (slot, key) in enumerate(assigned):
@@ -113,11 +129,28 @@ def _serve_round(ctx: RankContext, file: PFSFile, plan: TwoPhasePlan,
         for dest in targets[key]:
             payload = yield from make_payload(ctx, window_data, r_lo, key,
                                               dest)
-            sends.append(ctx.comm.isend((key, payload), dest,
-                                        base_tag + slot))
+            wire = ((key, payload, payload_digest(payload)) if wire_on
+                    else (key, payload))
+            sends.append(ctx.comm.isend(wire, dest, base_tag + slot))
         for req in sends:
             yield from ctx.wait_recording(req.event, "wait")
     return None
+
+
+def _take_window(ctx: RankContext, integ, msg, key: WindowKey,
+                 got: Dict[WindowKey, Any]) -> bool:
+    """Verify (when wire digests are on) and store one delivered window
+    payload; returns ``True`` when the payload was corrupt in transit
+    (detected, discarded, to be re-served next round)."""
+    if integ is not None and integ.config.wire_digests:
+        _rkey, payload, digest = msg.data
+        if payload_digest(payload) != digest:
+            integ.wire_detection(ctx.rank, msg.source, key, msg.tag)
+            return True
+    else:
+        _rkey, payload = msg.data
+    got[key] = payload
+    return False
 
 
 def _collect_round(ctx: RankContext, expect: List[Tuple[int, WindowKey]],
@@ -125,25 +158,43 @@ def _collect_round(ctx: RankContext, expect: List[Tuple[int, WindowKey]],
                    policy: RecoveryPolicy,
                    got: Dict[WindowKey, Any]) -> Generator:
     """One rank's receiving side of one round: timed receive per
-    expected window; returns the window keys that timed out.
+    expected window; returns ``(timed out keys, corrupt keys)``.
 
     Once a server is suspect, its remaining windows this round are
-    counted as missed without waiting out another timeout each."""
+    counted as missed without waiting out another timeout each — though
+    with wire digests on, each skipped window is still *probed*
+    (``irecv`` matches the unexpected queue synchronously), so a window
+    the suspect delivered before stalling is examined rather than
+    silently discarded.  A corrupt delivery does **not** indict its
+    server: the message arrived, so the server lives; only timeouts
+    feed the suspect set."""
     faults = getattr(ctx.machine, "faults", None)
+    integ = getattr(ctx.machine, "integrity", None)
+    wire_on = integ is not None and integ.config.wire_digests
     missed: List[WindowKey] = []
+    corrupt: List[WindowKey] = []
     suspects: set = set()
     for slot, key in expect:
         src = server_of[key]
         if src in suspects:
+            if wire_on:
+                req = ctx.comm.irecv(src, base_tag + slot)
+                # A synchronous match against the unexpected queue
+                # triggers the event immediately (before the kernel
+                # processes it), so probe `triggered`, not `complete`.
+                if req.event.triggered:
+                    if _take_window(ctx, integ, req.event.value, key, got):
+                        corrupt.append(key)
+                    continue
+                req.cancel()
             missed.append(key)
             continue
         req = ctx.comm.irecv(src, base_tag + slot)
         yield ctx.kernel.any_of(
             [req.event, ctx.kernel.timeout(policy.read_timeout)])
         if req.complete and not req.cancelled:
-            msg = req.event.value
-            rkey, payload = msg.data
-            got[tuple(rkey)] = payload
+            if _take_window(ctx, integ, req.event.value, key, got):
+                corrupt.append(key)
         else:
             req.cancel()
             suspects.add(src)
@@ -153,7 +204,7 @@ def _collect_round(ctx: RankContext, expect: List[Tuple[int, WindowKey]],
                     "recover:suspect", f"rank{ctx.rank}",
                     f"window {key} from rank {src} not delivered within "
                     f"{policy.read_timeout:g}s")
-    return missed
+    return missed, corrupt
 
 
 def _run_round(ctx: RankContext, file: PFSFile, plan: TwoPhasePlan,
@@ -165,7 +216,8 @@ def _run_round(ctx: RankContext, file: PFSFile, plan: TwoPhasePlan,
                make_payload: PayloadFn,
                got: Dict[WindowKey, Any]) -> Generator:
     """Run one rank's serving and receiving sides of a round
-    concurrently; returns that rank's missed-window list."""
+    concurrently; returns that rank's ``(timed out, corrupt)`` window
+    key lists."""
     procs = []
     if assigned:
         procs.append(ctx.kernel.process(
@@ -180,7 +232,7 @@ def _run_round(ctx: RankContext, file: PFSFile, plan: TwoPhasePlan,
         procs.append(recv_proc)
     if procs:
         yield ctx.kernel.all_of(procs)
-    return recv_proc.value if recv_proc is not None else []
+    return recv_proc.value if recv_proc is not None else ([], [])
 
 
 def _resilient_exchange(ctx: RankContext, file: PFSFile,
@@ -198,6 +250,8 @@ def _resilient_exchange(ctx: RankContext, file: PFSFile,
     """
     kernel = ctx.kernel
     faults = getattr(ctx.machine, "faults", None)
+    integ = getattr(ctx.machine, "integrity", None)
+    wire_on = integ is not None and integ.config.wire_digests
     all_keys: List[WindowKey] = _plan_keys(plan)
     n_aggs = len(plan.aggregators)
     server_of = {key: plan.aggregators[key[0]] for key in all_keys}
@@ -211,15 +265,24 @@ def _resilient_exchange(ctx: RankContext, file: PFSFile,
                       if server_of[k] == ctx.rank)
     expect = sorted((slot_of[k], k) for k in all_keys
                     if ctx.rank in targets[k])
-    missed = yield from _run_round(ctx, file, plan, assigned, expect,
-                                   targets, server_of, base_tag, policy,
-                                   0, make_payload, got)
-    entries = yield from coll.allgather(ctx.comm, tuple(missed))
-    missing, missed_by = merge_missed(entries)
+    missed, corrupt = yield from _run_round(ctx, file, plan, assigned,
+                                            expect, targets, server_of,
+                                            base_tag, policy, 0,
+                                            make_payload, got)
+    # The agreement payload only changes shape when wire digests are on,
+    # keeping the legacy allgather bytes (and fig14 schedules) intact.
+    if wire_on:
+        entries = yield from coll.allgather(
+            ctx.comm, (tuple(missed), tuple(corrupt)))
+        missing, missed_by, timeouts = merge_missed_pairs(entries)
+    else:
+        entries = yield from coll.allgather(ctx.comm, tuple(missed))
+        missing, missed_by = merge_missed(entries)
+        timeouts = missing
     suspected: set = set()
     round_index = 0
     while missing:
-        suspected |= {server_of[k] for k in missing}
+        suspected |= {server_of[k] for k in timeouts}
         alive = [a for a in plan.aggregators if a not in suspected]
         round_index += 1
         if (round_index > policy.max_rounds or not alive
@@ -248,15 +311,22 @@ def _resilient_exchange(ctx: RankContext, file: PFSFile,
         expect = sorted((slot_of[k], k) for k in missing
                         if ctx.rank in targets[k])
         t0 = kernel.now
-        missed = yield from _run_round(ctx, file, plan, assigned, expect,
-                                       targets, assignment, base_tag,
-                                       policy, round_index, make_payload,
-                                       got)
+        missed, corrupt = yield from _run_round(ctx, file, plan, assigned,
+                                                expect, targets, assignment,
+                                                base_tag, policy,
+                                                round_index, make_payload,
+                                                got)
         if timeline is not None and (assigned or expect):
             timeline.record(ctx.rank, round_index, "recovery", t0,
                             kernel.now)
-        entries = yield from coll.allgather(ctx.comm, tuple(missed))
-        missing, missed_by = merge_missed(entries)
+        if wire_on:
+            entries = yield from coll.allgather(
+                ctx.comm, (tuple(missed), tuple(corrupt)))
+            missing, missed_by, timeouts = merge_missed_pairs(entries)
+        else:
+            entries = yield from coll.allgather(ctx.comm, tuple(missed))
+            missing, missed_by = merge_missed(entries)
+            timeouts = missing
         server_of = assignment
     return got, [], {}
 
@@ -332,6 +402,20 @@ def resilient_collective_read(ctx: RankContext, file: PFSFile,
 
 
 # -- collective computing ---------------------------------------------------
+def _stamp_partial(ctx: RankContext,
+                   partial: Optional[PartialResult]
+                   ) -> Optional[PartialResult]:
+    """Stamp a freshly-mapped partial with its provenance digest (when
+    integrity with reduce verification is attached) so the reducer can
+    re-check it moments before combining — the last line of defence
+    behind the wire digests."""
+    integ = getattr(ctx.machine, "integrity", None)
+    if (partial is None or integ is None
+            or not integ.config.verify_reduce):
+        return partial
+    return replace(partial, digest=partial_digest(partial))
+
+
 def _self_map_window(ctx: RankContext, file: PFSFile, oio: ObjectIO,
                      plan: TwoPhasePlan, key: WindowKey,
                      policy: RecoveryPolicy,
@@ -348,6 +432,7 @@ def _self_map_window(ctx: RankContext, file: PFSFile, oio: ObjectIO,
     t0 = ctx.kernel.now
     partial, elements = map_pieces(oio.spec, oio.op, window_data, lo,
                                    pieces, ctx.rank, t)
+    partial = _stamp_partial(ctx, partial)
     yield from ctx.compute(elements, oio.op.ops_per_element)
     if stats is not None and partial is not None:
         stats.add_partial(partial)
@@ -390,6 +475,7 @@ def resilient_cc_read_compute(ctx: RankContext, file: PFSFile,
             pieces = plan.window_pieces(dest, agg_idx, t)
             partial, elements = map_pieces(oio.spec, op, window_data,
                                            read_lo, pieces, dest, t)
+            partial = _stamp_partial(ctx, partial)
             payload: Any = partial
             partials = [] if partial is None else [partial]
         else:
@@ -401,7 +487,7 @@ def resilient_cc_read_compute(ctx: RankContext, file: PFSFile,
                                         plan.window_pieces(r, agg_idx, t),
                                         r, t)
                 if partial is not None:
-                    partials.append(partial)
+                    partials.append(_stamp_partial(ctx, partial))
                     elements += n
             payload = partials
         yield from ctx.compute_parallel(elements, op.ops_per_element)
@@ -436,19 +522,20 @@ def resilient_cc_read_compute(ctx: RankContext, file: PFSFile,
 
     result = CCResult(stats=stats)
     if all_to_all:
-        # Sorted window-key order, not arrival order: float reductions
-        # are order-sensitive, and this keeps the combine order a pure
-        # function of the plan regardless of recovery history.
-        received = [got[k] for k in sorted(got) if got[k] is not None]
+        # Self-map the degraded windows into `got` first, then combine
+        # in sorted window-key order — not arrival order, and not
+        # "received then self-served": float reductions are
+        # order-sensitive, and folding everything through one sorted
+        # key sequence keeps the combine order (hence every output bit)
+        # a pure function of the plan regardless of recovery history.
         t0 = ctx.kernel.now
         for key in missing:
             if ctx.rank in missed_by.get(key, []):
-                partial = yield from _self_map_window(ctx, file, oio, plan,
-                                                      key, policy, stats)
-                if partial is not None:
-                    received.append(partial)
+                got[key] = yield from _self_map_window(ctx, file, oio, plan,
+                                                       key, policy, stats)
         if missing and timeline is not None:
             timeline.record(ctx.rank, 0, "degraded", t0, ctx.kernel.now)
+        received = [got[k] for k in sorted(got) if got[k] is not None]
         payload = yield from combine_partials(ctx, op, received, stats)
         result.local = None if payload is None else op.finalize(payload)
         result.global_result = yield from global_reduce(ctx, op, payload,
@@ -457,31 +544,42 @@ def resilient_cc_read_compute(ctx: RankContext, file: PFSFile,
 
     # all_to_one: the root collected per-window partial batches; the
     # degraded tail gathers the unserved windows' partials straight from
-    # their owner ranks over reliable tags.
-    received_all: List[PartialResult] = []
+    # their owner ranks over reliable tags.  Gathered partials are
+    # re-ordered per window by plan rank order (the order an aggregator
+    # would have produced them in), and windows fold in sorted key
+    # order, so the root's construction order — and every output bit —
+    # matches the fault-free run exactly.
+    per_key: Dict[WindowKey, List[PartialResult]] = {}
     if ctx.rank == oio.root:
-        for key in sorted(got):
-            received_all.extend(got[key])
+        for key, batch in got.items():
+            per_key[key] = list(batch)
     base_tag = ctx.comm.next_collective_tags(max(len(missing), 1))
     for slot, key in enumerate(missing):
         members = plan.window_ranks(key[0], key[1])
+        mine: Optional[PartialResult] = None
         if ctx.rank in members:
-            partial = yield from _self_map_window(ctx, file, oio, plan,
-                                                  key, policy, stats)
-            if ctx.rank == oio.root:
-                if partial is not None:
-                    received_all.append(partial)
-            else:
-                yield from ctx.comm.send(partial, oio.root,
-                                         base_tag + slot)
+            mine = yield from _self_map_window(ctx, file, oio, plan,
+                                               key, policy, stats)
+            if ctx.rank != oio.root:
+                yield from ctx.comm.send(mine, oio.root, base_tag + slot)
         if ctx.rank == oio.root:
+            by_rank: Dict[int, PartialResult] = {}
+            if mine is not None:
+                by_rank[ctx.rank] = mine
             for r in members:
                 if r == oio.root:
                     continue
                 partial = yield from ctx.comm.recv(r, base_tag + slot)
                 if partial is not None:
-                    received_all.append(partial)
+                    by_rank[r] = partial
+            per_key[key] = [by_rank[r] for r in members if r in by_rank]
+    received_all: List[PartialResult] = [
+        p for key in sorted(per_key) for p in per_key[key]]
     if ctx.rank == oio.root:
+        integ = getattr(ctx.machine, "integrity", None)
+        if integ is not None:
+            integ.verify_partials(ctx, received_all,
+                                  f"rank {ctx.rank} root construct")
         t0 = ctx.kernel.now
         blocks = sum(len(p.blocks) for p in received_all)
         cost_units = (max(len(received_all), 1) * COMBINE_ELEMENT_COST

@@ -1,0 +1,138 @@
+"""Deterministic single-bit corruption of payloads and byte extents.
+
+The fault plan decides *whether* and *where* (as uniform draws in
+``[0, 1)``); this module turns those draws into an actual flipped bit:
+
+* :func:`flip_bit` — flip one bit of a bytes-like extent (the OST
+  storage path), copy-on-write so read-only memoryviews over cached
+  source arrays are never mutated in place.
+* :func:`corrupt_object` — flip one bit inside a structured wire
+  payload.  Only *data-bearing* leaves are candidates (ndarrays,
+  bytes, floats): ints, strings, dict keys and dataclass fields named
+  ``digest`` are never touched, so a corrupted message keeps its
+  protocol identity (window keys, ranks, tags stay parseable) and a
+  stamped provenance digest is never the thing that breaks — silent
+  corruption mangles *values*, which is exactly what the checksums
+  must catch.
+
+Everything is copy-on-corrupt: payload buffers may alias simulator
+state (window arrays shared between destinations, cached procedural
+blocks), and corruption must poison one delivery, not the universe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, List, Tuple
+
+import numpy as np
+
+#: Path-step tags for rebuilding a corrupted container.
+_SEQ, _KEY, _FIELD = "seq", "key", "field"
+
+
+def flip_bit(data: Any, bit: int) -> bytes:
+    """A copy of bytes-like ``data`` with bit ``bit`` flipped
+    (bit 0 = LSB of byte 0)."""
+    buf = bytearray(data)
+    buf[bit >> 3] ^= 1 << (bit & 7)
+    return bytes(buf)
+
+
+def _collect_leaves(obj: Any, path: Tuple, out: List[Tuple[Tuple, Any]]
+                    ) -> None:
+    if obj is None or isinstance(obj, (bool, np.bool_)):
+        return
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes:
+            out.append((path, obj))
+        return
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        if len(obj):
+            out.append((path, obj))
+        return
+    if isinstance(obj, (float, np.floating)):
+        out.append((path, obj))
+        return
+    if isinstance(obj, (tuple, list)):
+        for i, item in enumerate(obj):
+            _collect_leaves(item, path + ((_SEQ, i),), out)
+        return
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            _collect_leaves(value, path + ((_KEY, key),), out)
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for f in dataclasses.fields(obj):
+            if f.name == "digest":
+                continue
+            _collect_leaves(getattr(obj, f.name), path + ((_FIELD, f.name),),
+                            out)
+        return
+    # ints, strings and anything else carry protocol identity, not data.
+
+
+def _flip_leaf(leaf: Any, u_bit: float) -> Tuple[Any, int, int]:
+    """``(corrupted copy, bit index, total bits)`` for one leaf."""
+    if isinstance(leaf, np.ndarray):
+        nbits = leaf.nbytes * 8
+        bit = min(int(u_bit * nbits), nbits - 1)
+        arr = leaf.copy()
+        flat = arr.view(np.uint8).reshape(-1)
+        flat[bit >> 3] ^= 1 << (bit & 7)
+        return arr, bit, nbits
+    if isinstance(leaf, (bytes, bytearray, memoryview)):
+        nbits = len(leaf) * 8
+        bit = min(int(u_bit * nbits), nbits - 1)
+        flipped = flip_bit(leaf, bit)
+        return (bytearray(flipped) if isinstance(leaf, bytearray)
+                else flipped), bit, nbits
+    # float / np.floating: flip one bit of the IEEE-754 representation.
+    nbits = 64
+    bit = min(int(u_bit * nbits), nbits - 1)
+    raw = flip_bit(struct.pack("<d", float(leaf)), bit)
+    return struct.unpack("<d", raw)[0], bit, nbits
+
+
+def _rebuild(obj: Any, path: Tuple, new_leaf: Any) -> Any:
+    if not path:
+        return new_leaf
+    (kind, key), rest = path[0], path[1:]
+    if kind == _SEQ:
+        items = list(obj)
+        items[key] = _rebuild(items[key], rest, new_leaf)
+        return tuple(items) if isinstance(obj, tuple) else items
+    if kind == _KEY:
+        copy = dict(obj)
+        copy[key] = _rebuild(copy[key], rest, new_leaf)
+        return copy
+    return dataclasses.replace(
+        obj, **{key: _rebuild(getattr(obj, key), rest, new_leaf)})
+
+
+def _describe(path: Tuple, leaf: Any) -> str:
+    loc = "".join(f".{k}" if kind == _FIELD else f"[{k!r}]"
+                  for kind, k in path) or "payload"
+    return f"{loc} ({type(leaf).__name__})"
+
+
+def corrupt_object(obj: Any, u_leaf: float, u_bit: float
+                   ) -> Tuple[Any, str]:
+    """Flip one bit of one data-bearing leaf of ``obj``.
+
+    ``u_leaf`` selects the leaf, ``u_bit`` the bit within it (both
+    uniform draws from the fault plan).  Returns ``(corrupted copy,
+    description)``; when ``obj`` carries no corruptible data at all,
+    returns ``(obj, "")`` unchanged — the injector then records
+    nothing, keeping inject records matched to observable corruption.
+    """
+    leaves: List[Tuple[Tuple, Any]] = []
+    _collect_leaves(obj, (), leaves)
+    if not leaves:
+        return obj, ""
+    index = min(int(u_leaf * len(leaves)), len(leaves) - 1)
+    path, leaf = leaves[index]
+    new_leaf, bit, nbits = _flip_leaf(leaf, u_bit)
+    desc = f"bit {bit}/{nbits} of {_describe(path, leaf)} flipped"
+    return _rebuild(obj, path, new_leaf), desc

@@ -259,6 +259,11 @@ class Communicator:
             dropped, delay = faults.message_decision(msg)
             if delay > 0:
                 yield self.kernel.timeout(delay)
+            if not dropped and faults.plan.corrupt_msg_rate:
+                # In-transit bit flip on the delivered copy; the sender's
+                # object is untouched, so a re-send draws a fresh decision
+                # (the repair round uses a fresh tag).
+                msg.data = faults.corrupt_message(msg)
         pair = (msg.source, msg.dest)
         expected = self._pair_next_in.get(pair, 0)
         if seq != expected:

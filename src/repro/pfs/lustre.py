@@ -56,6 +56,10 @@ class LustreFS:
         #: present, every read consults it for per-segment OST
         #: slowdowns and injected transient EIOs.
         self.faults = None
+        #: Set by :meth:`repro.integrity.IntegrityManager.attach`: when
+        #: present, new files get per-stripe-block CRC32C digests and
+        #: every read verifies the served extent against them.
+        self.integrity = None
 
     # -- namespace ---------------------------------------------------------
     def create_file(self, name: str, source: DataSource, *,
@@ -82,6 +86,8 @@ class LustreFS:
         osts = [(start_ost + k) % len(self.osts) for k in range(count)]
         f = PFSFile(name, source, StripeLayout(size, osts))
         self._files[name] = f
+        if self.integrity is not None:
+            self.integrity.ensure_digests(f)
         return f
 
     def create_procedural_file(self, name: str, n_elements: int, *,
@@ -158,7 +164,17 @@ class LustreFS:
             yield self.kernel.all_of(procs)
         if client is not None and self.network is not None:
             yield from self.network.inject(client, nbytes)
-        return file.source.read(offset, nbytes)
+        data = file.source.read(offset, nbytes)
+        # Silent-corruption hook: the injector may flip a bit in the
+        # *served copy* (the source stays pristine); with integrity
+        # attached, the extent is then verified block-by-block and a
+        # flipped bit surfaces as a retryable IntegrityError instead of
+        # poisoning the reduction downstream.
+        if self.faults is not None and self.faults.plan.corrupt_ost_rate:
+            data = self.faults.corrupt_served(file, offset, data)
+        if self.integrity is not None and self.integrity.config.verify_reads:
+            self.integrity.verify_read(file, offset, data)
+        return data
 
     def _fallible_service(self, seg, fault_mult: float,
                           fault_fail: bool) -> Generator:
@@ -198,6 +214,8 @@ class LustreFS:
         ]
         yield self.kernel.all_of(procs)
         file.source.write(offset, data)
+        # Digested files stay verifiable across in-place writes.
+        file.refresh_digests(offset, nbytes)
         return None
 
     # -- diagnostics -----------------------------------------------------------

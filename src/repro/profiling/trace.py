@@ -36,10 +36,12 @@ COLOR_BY_NAME = {
 }
 
 #: Colour per fault-record kind prefix: injections red, recoveries
-#: yellow (the viewer's palette names, as above).
+#: yellow, integrity detections amber (the viewer's palette names, as
+#: above).
 FAULT_COLOR_BY_PREFIX = {
     "inject": "terrible",
     "recover": "bad",
+    "detect": "yellow",
 }
 
 _RANK_LOCATION = re.compile(r"^rank(\d+)$")

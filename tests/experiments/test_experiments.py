@@ -21,7 +21,7 @@ def setting(result, key):
 def test_registry_lists_all_paper_artifacts():
     assert registry.names() == ["table1", "fig1", "fig2", "fig3", "fig9",
                                 "fig10", "fig11", "fig12", "fig13",
-                                "fig14"]
+                                "fig14", "fig15"]
     with pytest.raises(KeyError):
         registry.run("fig99")
 

@@ -26,6 +26,7 @@ class Msg:
     dest: int
     tag: int
     nbytes: int = 64
+    data: object = None
 
 
 # -- wiring -----------------------------------------------------------------
@@ -40,6 +41,40 @@ def test_attach_wires_machine_and_fs():
     assert m.fs.faults is None
     # Records survive on the detached injector object.
     assert inj.records == []
+
+
+def test_detach_clears_ranges_and_counters():
+    """Detach hygiene: a machine handed back after a faulted run must
+    not leak droppable tag ranges or decision counters into the next
+    attachment — re-attaching starts the schedule from scratch."""
+    m = machine()
+    plan = FaultPlan(seed=4, msg_drop_rate=1.0, ost_fail_rate=0.5,
+                     corrupt_ost_rate=1.0)
+    inj = FaultInjector.attach(m, plan)
+    inj.allow_drops(10, 12)
+    inj.ost_decision(0)
+    f = m.fs.create_procedural_file("d.bin", 128, dtype=np.float64,
+                                    stripe_size=512)
+    inj.corrupt_served(f, 0, bytes(f.source.read(0, 512)))
+    assert inj._droppable and inj._ost_request_index
+    assert inj._block_occurrence
+    n_records = len(inj.records)
+    FaultInjector.detach(m)
+    assert inj._droppable == []
+    assert inj._ost_request_index == {}
+    assert inj._block_occurrence == {}
+    # The ledger survives detach; only decision state is reset.
+    assert len(inj.records) == n_records
+    # A re-attached injector replays the schedule from request #0.
+    inj2 = FaultInjector.attach(m, plan)
+    assert inj2.ost_decision(0) == plan.ost_fault(0, 0)
+    assert not inj2._droppable_tag(10)
+
+
+def test_detach_tolerates_a_bare_machine():
+    m = machine()
+    FaultInjector.detach(m)  # never attached: still a clean no-op
+    assert m.faults is None
 
 
 # -- OST hook ---------------------------------------------------------------
@@ -105,6 +140,63 @@ def test_delays_apply_everywhere():
     # Delays need no registration (a late control message is safe).
     assert inj.message_decision(Msg(0, 1, tag=999)) == (False, 0.1)
     assert inj.injected()[0].kind == "inject:msg-delay"
+
+
+# -- silent corruption hooks ------------------------------------------------
+
+def test_corrupt_served_flips_one_bit_per_decided_block():
+    m = machine()
+    inj = FaultInjector.attach(m, FaultPlan(seed=4, corrupt_ost_rate=1.0))
+    f = m.fs.create_procedural_file("c.bin", 256, dtype=np.float64,
+                                    stripe_size=512)
+    pristine = bytes(f.source.read(0, 1024))  # blocks 0 and 1
+    served = inj.corrupt_served(f, 0, pristine)
+    # Rate 1.0: both covered blocks flip exactly one bit each.
+    diff = sum((a ^ b).bit_count() for a, b in zip(served, pristine))
+    assert diff == 2
+    assert [r.kind for r in inj.injected()] == ["inject:ost-corrupt"] * 2
+    # The source stays pristine — that is what makes re-reads repair.
+    assert bytes(f.source.read(0, 1024)) == pristine
+    # The occurrence counter advanced: read #1 draws fresh decisions.
+    assert inj._block_occurrence[("c.bin", 0)] == 1
+    inj.corrupt_served(f, 0, pristine)
+    assert "read #1" in inj.injected()[-1].detail
+
+
+def test_corrupt_message_only_inside_droppable_ranges():
+    m = machine()
+    inj = FaultInjector.attach(m, FaultPlan(seed=4, corrupt_msg_rate=1.0))
+    payload = np.ones(8, dtype=np.float64)
+    msg = Msg(0, 1, tag=50, data=(("w", 0), payload))
+    # Control plane (no registered range): delivered untouched.
+    assert inj.corrupt_message(msg) is msg.data
+    assert inj.records == []
+    inj.allow_drops(50, 60)
+    corrupted = inj.corrupt_message(msg)
+    assert corrupted is not msg.data
+    assert not np.array_equal(corrupted[1], payload)
+    np.testing.assert_array_equal(payload, np.ones(8))  # copy-on-corrupt
+    (rec,) = inj.injected()
+    assert rec.kind == "inject:msg-corrupt"
+    assert "tag 50" in rec.detail
+
+
+def test_corrupt_message_without_data_leaves_records_nothing():
+    m = machine()
+    inj = FaultInjector.attach(m, FaultPlan(seed=4, corrupt_msg_rate=1.0))
+    inj.allow_drops(50, 60)
+    key_only = Msg(0, 1, tag=50, data=("window", 3))
+    assert inj.corrupt_message(key_only) is key_only.data
+    assert inj.records == []
+
+
+def test_detected_filter():
+    m = machine()
+    inj = FaultInjector.attach(m, FaultPlan(seed=4))
+    inj.record("inject:ost-corrupt", "ost0", "x")
+    inj.record("detect:ost-corrupt", "ost0", "y")
+    inj.record("recover:retry", "rank0", "z")
+    assert [r.kind for r in inj.detected()] == ["detect:ost-corrupt"]
 
 
 # -- deadlock diagnostics ---------------------------------------------------

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster import Machine
 from repro.config import small_test_machine
-from repro.errors import FaultError, RecoveryError
+from repro.errors import FaultError, RecoveryError, TransientIOError
 from repro.faults import (FaultInjector, FaultPlan, RecoveryPolicy,
                           RetryPolicy, assign_orphans, degradation_needed,
                           merge_missed, read_with_retry,
@@ -141,6 +141,44 @@ def test_fault_on_last_retry_raises_recovery_error():
 def test_zero_retries_fail_immediately():
     with pytest.raises(RecoveryError):
         run_scripted_read([True], max_retries=0)
+
+
+def test_exhaustion_names_ost_attempts_and_extent():
+    """An exhausted retry budget must leave a usable post-mortem: the
+    RecoveryError names the extent, the attempt count and (via the
+    final cause) the failing OST."""
+    with pytest.raises(RecoveryError) as err:
+        run_scripted_read([True, True, True], max_retries=2)
+    msg = str(err.value)
+    assert "read [0, 256) of 'r.bin'" in msg
+    assert "3 attempts" in msg
+    # The chained cause is the last attempt's EIO, naming the OST.
+    assert "injected transient EIO at OST 0" in msg
+    assert isinstance(err.value.__cause__, TransientIOError)
+
+
+def test_exhaustion_records_one_injection_per_attempt():
+    k = Kernel()
+    m = Machine(k, small_test_machine(nodes=1, cores_per_node=4,
+                                      n_osts=3, stripe_size=512))
+    f = m.fs.create_procedural_file("r.bin", 1024, dtype=np.float64,
+                                    stripe_size=512)
+    inj = ScriptedInjector(FaultPlan(seed=0, ost_fail_rate=0.5), k,
+                           [True] * 3)
+    m.faults = inj
+    m.fs.faults = inj
+    policy = RetryPolicy(max_retries=2, backoff_base=0.001)
+
+    def main(ctx):
+        data = yield from read_with_retry(ctx, f, 0, 256, policy)
+        return bytes(data)
+
+    with pytest.raises(RecoveryError):
+        mpi_run(m, 1, main)
+    # Every attempt shows up in the ledger: three injected EIOs, and a
+    # recover:retry for each absorbed (non-final) failure.
+    assert [r.kind for r in inj.injected()] == ["inject:ost-fail"] * 3
+    assert [r.kind for r in inj.recovered()] == ["recover:retry"] * 2
 
 
 def test_no_faults_no_retries():

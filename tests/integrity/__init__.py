@@ -1,0 +1,1 @@
+"""End-to-end data-integrity layer tests."""

@@ -1,0 +1,76 @@
+"""Deterministic single-bit corruption primitives."""
+
+import numpy as np
+
+from repro.core.metadata import PartialResult
+from repro.integrity import corrupt_object, flip_bit, payload_digest
+
+
+# -- flip_bit ---------------------------------------------------------------
+
+def test_flip_bit_flips_exactly_one_bit():
+    data = bytes(16)
+    flipped = flip_bit(data, 37)
+    assert flipped != data
+    assert flipped[37 >> 3] == 1 << (37 & 7)
+    assert sum(b.bit_count() for b in flipped) == 1
+
+
+def test_flip_bit_is_copy_on_write():
+    original = bytearray(b"\x00" * 8)
+    flipped = flip_bit(original, 0)
+    assert original == b"\x00" * 8
+    assert flipped[0] == 1
+
+
+# -- corrupt_object ---------------------------------------------------------
+
+def test_corrupt_array_flips_one_bit_and_copies():
+    arr = np.arange(16, dtype=np.float64)
+    pristine = arr.copy()
+    corrupted, desc = corrupt_object((7, arr), u_leaf=0.0, u_bit=0.5)
+    assert "flipped" in desc and "ndarray" in desc
+    # The delivered copy differs in exactly one bit ...
+    a = np.asarray(corrupted[1]).view(np.uint8)
+    b = pristine.view(np.uint8)
+    assert sum(int(x ^ y).bit_count() for x, y in zip(a, b)) == 1
+    # ... the sender's object is untouched, and identity survives.
+    np.testing.assert_array_equal(arr, pristine)
+    assert corrupted[0] == 7
+
+
+def test_corrupt_object_spares_protocol_identity():
+    # ints, strings and dict keys carry protocol identity (ranks, tags,
+    # window keys); only the float leaf is a corruption candidate.
+    obj = {"rank": 3, "name": "w0", "value": 1.0}
+    corrupted, desc = corrupt_object(obj, u_leaf=0.99, u_bit=0.99)
+    assert desc  # something data-bearing was found: the float
+    assert corrupted["rank"] == 3
+    assert corrupted["name"] == "w0"
+    assert corrupted["value"] != 1.0
+    assert obj["value"] == 1.0  # copy-on-corrupt
+
+
+def test_corrupt_object_without_data_leaves_is_a_noop():
+    # A bare protocol tuple (window key) has nothing to corrupt: the
+    # injector must record nothing, keeping inject records matched to
+    # observable corruption.
+    key = ((1, 0), "tag", 12)
+    corrupted, desc = corrupt_object(key, u_leaf=0.5, u_bit=0.5)
+    assert corrupted is key
+    assert desc == ""
+
+
+def test_corrupt_object_never_touches_a_digest_field():
+    payload = np.ones(4, dtype=np.float64)
+    stamp = payload_digest(payload)
+    partial = PartialResult(dest_rank=0, iteration=0, blocks=(),
+                            payload=payload, payload_nbytes=32,
+                            digest=stamp)
+    # Sweep the leaf draw: whatever is picked, the stamp survives, so
+    # corruption can never forge a matching digest.
+    for u in (0.0, 0.3, 0.6, 0.99):
+        corrupted, desc = corrupt_object(partial, u_leaf=u, u_bit=0.5)
+        assert desc
+        assert corrupted.digest == stamp
+        assert payload_digest(corrupted.payload) != corrupted.digest

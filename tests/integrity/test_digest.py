@@ -1,0 +1,94 @@
+"""CRC32C and canonical payload digests."""
+
+import numpy as np
+
+from repro.core.metadata import PartialResult
+from repro.dataspace import LogicalBlock
+from repro.integrity import (DIGEST_NBYTES, crc32c, partial_digest,
+                             payload_digest)
+
+
+# -- crc32c -----------------------------------------------------------------
+
+def test_crc32c_check_vector():
+    # The canonical CRC32C check value (RFC 3720 appendix B.4).
+    assert crc32c(b"123456789") == 0xE3069283
+    assert crc32c(b"") == 0
+
+
+def test_crc32c_accepts_bytes_like():
+    data = b"collective computing"
+    assert crc32c(bytearray(data)) == crc32c(data)
+    assert crc32c(memoryview(data)) == crc32c(data)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    assert crc32c(arr) == crc32c(data)
+
+
+def test_crc32c_chaining_matches_concatenation():
+    data = bytes(range(256)) * 5
+    for split in (0, 1, 7, 8, 9, 255, len(data)):
+        a, b = data[:split], data[split:]
+        assert crc32c(b, crc32c(a)) == crc32c(data)
+
+
+# -- payload_digest ---------------------------------------------------------
+
+def test_payload_digest_is_fixed_width():
+    for payload in (None, 0, 1.5, b"x", "x", (), {"k": 1}):
+        assert len(payload_digest(payload)) == DIGEST_NBYTES
+
+
+def test_payload_digest_type_tagged():
+    # Same "emptiness"/"zeroness", different types: all must differ,
+    # or a corruption that changes a value's type could go unseen.
+    digests = [payload_digest(p)
+               for p in (None, False, 0, 0.0, b"", "", (), {})]
+    assert len(set(digests)) == len(digests)
+
+
+def test_payload_digest_covers_array_dtype_and_shape():
+    a = np.arange(6, dtype=np.float64)
+    assert payload_digest(a) == payload_digest(a.copy())
+    assert payload_digest(a) != payload_digest(a.reshape(2, 3))
+    assert payload_digest(a) != payload_digest(a.astype(np.float32))
+    flipped = a.copy()
+    flipped[3] = -flipped[3]
+    assert payload_digest(a) != payload_digest(flipped)
+
+
+def test_payload_digest_dict_insertion_order_independent():
+    fwd = {"a": 1, "b": 2.5}
+    rev = {"b": 2.5, "a": 1}
+    assert payload_digest(fwd) == payload_digest(rev)
+    assert payload_digest(fwd) != payload_digest({"a": 1, "b": 2.0})
+
+
+# -- partial_digest ---------------------------------------------------------
+
+def _partial(**kw):
+    defaults = dict(dest_rank=3, iteration=1,
+                    blocks=(LogicalBlock((0, 0), (2, 4)),),
+                    payload=np.arange(8, dtype=np.float64),
+                    payload_nbytes=64)
+    defaults.update(kw)
+    return PartialResult(**defaults)
+
+
+def test_partial_digest_excludes_the_digest_field():
+    # Stamping must be idempotent: the digest of a stamped partial
+    # equals the digest of the unstamped one, so receivers can verify
+    # without stripping the stamp first.
+    p = _partial()
+    stamp = partial_digest(p)
+    stamped = PartialResult(p.dest_rank, p.iteration, p.blocks, p.payload,
+                            p.payload_nbytes, digest=stamp)
+    assert partial_digest(stamped) == stamp
+
+
+def test_partial_digest_covers_provenance_and_payload():
+    base = partial_digest(_partial())
+    assert partial_digest(_partial(dest_rank=4)) != base
+    assert partial_digest(_partial(iteration=2)) != base
+    corrupted = np.arange(8, dtype=np.float64)
+    corrupted[0] += 2.0 ** -40
+    assert partial_digest(_partial(payload=corrupted)) != base

@@ -1,0 +1,46 @@
+"""Wire sizing of digest-carrying payloads.
+
+The integrity layer must be priced honestly: a stamped partial or a
+``(key, payload, digest)`` wire tuple charges the network exactly the
+digest's own bytes more than its unstamped form — no hidden framing,
+no forgotten digest.
+"""
+
+import numpy as np
+
+from repro.core.metadata import PartialResult
+from repro.dataspace import LogicalBlock
+from repro.integrity import DIGEST_NBYTES, partial_digest, payload_digest
+from repro.mpi import wire_size
+
+
+def make_partial(digest=None):
+    payload = np.arange(16, dtype=np.float64)
+    return PartialResult(dest_rank=2, iteration=0,
+                         blocks=(LogicalBlock((0, 0), (4, 4)),),
+                         payload=payload, payload_nbytes=payload.nbytes,
+                         digest=digest)
+
+
+def test_stamped_partial_charges_exactly_the_digest():
+    bare = make_partial()
+    stamped = make_partial(digest=partial_digest(bare))
+    assert len(stamped.digest) == DIGEST_NBYTES
+    assert stamped.wire_size() == bare.wire_size() + DIGEST_NBYTES
+    # wire_size() dispatches through the object's own method.
+    assert wire_size(stamped) == stamped.wire_size()
+
+
+def test_wire_tuple_charges_exactly_the_digest():
+    key = (3, 1)
+    payload = np.arange(32, dtype=np.float64)
+    legacy = (key, payload)
+    stamped = (key, payload, payload_digest(payload))
+    assert wire_size(stamped) == wire_size(legacy) + DIGEST_NBYTES
+
+
+def test_digest_sizes_for_plain_byte_payloads():
+    for payload in (b"x" * 100, bytearray(64)):
+        digest = payload_digest(payload)
+        assert wire_size((payload, digest)) == \
+            16 + len(payload) + DIGEST_NBYTES  # CONTAINER_OVERHEAD + parts
