@@ -68,6 +68,42 @@ def measure(runs: int):
     return statistics.median(walls), walls, result
 
 
+def measure_parallel(jobs: int, serial_rows):
+    """One parallel run of the same sweep: wall time + the bit-identity
+    verdict vs the serial rows.  Informational only — the serial median
+    stays the regression gate (spawn start-up dominates on small boxes,
+    so a wall threshold here would gate the host, not the code)."""
+    if datasource.GLOBAL_BLOCK_CACHE is not None:
+        datasource.GLOBAL_BLOCK_CACHE.clear()
+    t0 = time.perf_counter()
+    result = fig10_scalability.run(**QUICK_KWARGS, jobs=jobs)
+    wall = time.perf_counter() - t0
+    if result.rows != serial_rows:
+        raise SystemExit(f"FAIL: fig10 rows differ between jobs=1 and "
+                         f"jobs={jobs} (parallel merge broke bit-identity)")
+    print(f"  parallel jobs={jobs}: {wall:.3f}s (rows identical to serial)")
+    return wall
+
+
+def measure_point_cache():
+    """Cold vs warm wall time through a fresh on-disk point cache."""
+    import tempfile
+
+    from repro.parallel import PointCache
+
+    walls = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = PointCache(root=Path(tmp) / "pointcache")
+        for label in ("cold", "warm"):
+            if datasource.GLOBAL_BLOCK_CACHE is not None:
+                datasource.GLOBAL_BLOCK_CACHE.clear()
+            t0 = time.perf_counter()
+            fig10_scalability.run(**QUICK_KWARGS, cache=cache)
+            walls.append(time.perf_counter() - t0)
+            print(f"  point cache {label}: {walls[-1]:.3f}s")
+    return walls
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--runs", type=int, default=3,
@@ -78,6 +114,9 @@ def main() -> int:
                     help="rebase the reference to this measurement")
     ap.add_argument("--no-check", action="store_true",
                     help="measure and record, never fail")
+    ap.add_argument("--parallel-jobs", type=int, default=2, metavar="N",
+                    help="also record one jobs=N parallel run and the "
+                         "cache cold/warm split (0 to skip; default 2)")
     args = ap.parse_args()
     if args.runs < 1:
         ap.error(f"--runs must be >= 1, got {args.runs}")
@@ -86,6 +125,12 @@ def main() -> int:
     median, walls, result = measure(args.runs)
     print(f"  median: {median:.3f}s  (seed baseline {SEED_WALL_S:.2f}s, "
           f"{SEED_WALL_S / median:.2f}x)")
+
+    parallel_wall = None
+    cache_walls = None
+    if args.parallel_jobs > 0:
+        parallel_wall = measure_parallel(args.parallel_jobs, result.rows)
+        cache_walls = measure_point_cache()
 
     previous = None
     if BENCH_PATH.exists():
@@ -126,6 +171,18 @@ def main() -> int:
             "rows": [list(row) for row in result.rows],
         },
     }
+    if parallel_wall is not None:
+        # Informational: the serial median above stays the only gate.
+        payload["fig10_quick_parallel"] = {
+            "jobs": args.parallel_jobs,
+            "wall_s": round(parallel_wall, 4),
+            "rows_identical_to_serial": True,
+        }
+    if cache_walls is not None:
+        payload["fig10_quick_point_cache"] = {
+            "cold_wall_s": round(cache_walls[0], 4),
+            "warm_wall_s": round(cache_walls[1], 4),
+        }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {BENCH_PATH.relative_to(REPO_ROOT)}")
 

@@ -249,6 +249,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         metavar="SEED",
                         help="base seed for the chaos campaign "
                              "(job i uses SEED + i; default 0)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the chaos campaign out over N worker "
+                             "processes (0 = one per core); output is "
+                             "identical to --jobs 1")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="only print findings/failures")
     args = parser.parse_args(argv)
@@ -278,7 +282,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         from .chaos import run_campaign
         return run_campaign(args.chaos, base_seed=args.chaos_seed,
-                            quiet=args.quiet)
+                            quiet=args.quiet, jobs=args.jobs)
 
     status = 0
     if not args.smoke_only:

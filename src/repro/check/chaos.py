@@ -165,7 +165,44 @@ def _assert_contract(reference: list, results: list, inj, integ) -> None:
                 f"unnamespaced ledger kind {record.kind!r}")
 
 
-def run_campaign(n: int, base_seed: int = 0, quiet: bool = False) -> int:
+#: Per-process memo of fault-free reference results, one per scenario.
+#: Serial campaigns fill it once; each pool worker fills its own copy
+#: lazily (at most once per scenario per worker process).  References
+#: never cross the process boundary — only the per-job verdict does.
+_REFERENCES: Dict[str, list] = {}
+
+
+def run_point(index: int, base_seed: int) -> Tuple[str, object, int, int]:
+    """One chaos job (campaign slot ``index``); returns
+    ``(label, failure text or None, injected count, detected count)``.
+
+    The job → (scenario, rate, seed) mapping is a pure function of
+    ``index``, so a campaign is an embarrassingly parallel sweep over
+    ``range(n)`` and any slot replays exactly by itself.
+    """
+    from ..faults import FaultPlan
+
+    spec, scenarios = _scenarios()
+    name, body, agg_crash_rate, policy = scenarios[index % len(scenarios)]
+    rate = CORRUPT_RATES[(index // len(scenarios)) % len(CORRUPT_RATES)]
+    seed = base_seed + index
+    label = f"seed={seed} scenario={name} rate={rate:g}"
+    try:
+        with override_checks(True):
+            if name not in _REFERENCES:
+                _REFERENCES[name], _, _ = _run_job(spec, body, policy)
+            plan = FaultPlan(seed=seed,
+                             **_plan_fields(rate, agg_crash_rate))
+            results, inj, integ = _run_job(spec, body, policy, plan,
+                                           with_integrity=True)
+            _assert_contract(_REFERENCES[name], results, inj, integ)
+    except Exception as exc:  # noqa: BLE001 - reported, not hidden
+        return label, f"{type(exc).__name__}: {exc}", 0, 0
+    return label, None, len(inj.injected()), integ.detected()
+
+
+def run_campaign(n: int, base_seed: int = 0, quiet: bool = False,
+                 jobs: int = 1) -> int:
     """Run ``n`` chaos jobs; returns a process exit status (0 clean).
 
     Job ``i`` uses scenario ``i mod 4``, corruption rate
@@ -173,33 +210,25 @@ def run_campaign(n: int, base_seed: int = 0, quiet: bool = False) -> int:
     rate) pair is exercised once per 12 jobs, under a fresh seed each
     cycle.  Failures name the seed, scenario and rate so any single job
     can be replayed.
-    """
-    from ..faults import FaultPlan
 
-    spec, scenarios = _scenarios()
-    references: Dict[str, list] = {}
+    ``jobs`` fans the campaign out over worker processes (0 = one per
+    core); verdicts are collected and printed in job order, so the
+    output is byte-identical to a serial run.
+    """
+    from ..parallel import SweepPoint, run_sweep
+
+    points = [SweepPoint.make("repro.check.chaos:run_point",
+                              label=f"chaos#{i}", index=i,
+                              base_seed=base_seed)
+              for i in range(n)]
+    verdicts = run_sweep(points, jobs=jobs)
     failures: List[str] = []
-    for i in range(n):
-        name, body, agg_crash_rate, policy = scenarios[i % len(scenarios)]
-        rate = CORRUPT_RATES[(i // len(scenarios)) % len(CORRUPT_RATES)]
-        seed = base_seed + i
-        label = f"seed={seed} scenario={name} rate={rate:g}"
-        try:
-            with override_checks(True):
-                if name not in references:
-                    references[name], _, _ = _run_job(spec, body, policy)
-                plan = FaultPlan(seed=seed,
-                                 **_plan_fields(rate, agg_crash_rate))
-                results, inj, integ = _run_job(spec, body, policy, plan,
-                                               with_integrity=True)
-                _assert_contract(references[name], results, inj, integ)
-        except Exception as exc:  # noqa: BLE001 - reported, not hidden
-            failures.append(f"{label}: {type(exc).__name__}: {exc}")
-        else:
-            if not quiet:
-                print(f"repro.check chaos: {label} ok "
-                      f"({len(inj.injected())} injected, "
-                      f"{integ.detected()} detected)")
+    for label, failure, injected, detected in verdicts:
+        if failure is not None:
+            failures.append(f"{label}: {failure}")
+        elif not quiet:
+            print(f"repro.check chaos: {label} ok "
+                  f"({injected} injected, {detected} detected)")
     if failures:
         for failure in failures:
             print(f"repro.check chaos FAILED: {failure}", file=sys.stderr)

@@ -35,7 +35,24 @@ def main(argv=None) -> int:
                         help="run under the repro.check runtime sanitizers "
                              "(collective protocol + plan invariants); "
                              "slower, results identical")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan independent sweep points out over N "
+                             "worker processes (0 = one per core); "
+                             "results are bit-identical to --jobs 1")
+    parser.add_argument("--quick", action="store_true",
+                        help="run each experiment's smaller QUICK_KWARGS "
+                             "configuration (same sweep, fewer/scaled "
+                             "points)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk point cache "
+                             "(results/.pointcache/)")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="drop every cached sweep point, then proceed")
     args = parser.parse_args(argv)
+    from ..parallel import PointCache
+    cache = None if args.no_cache else PointCache()
+    if args.clear_cache:
+        print(f"point cache: cleared {PointCache().clear()} entries")
     if args.experiment is None:
         print("Available experiments:")
         for name in registry.names():
@@ -49,7 +66,10 @@ def main(argv=None) -> int:
         outdir.mkdir(parents=True, exist_ok=True)
     for name in targets:
         t0 = time.time()  # repro: allow[wallclock] — host-side progress report
-        result = registry.run(name, check=True if args.check else None)
+        if cache is not None:
+            cache.hits = cache.misses = 0
+        result = registry.run(name, check=True if args.check else None,
+                              quick=args.quick, jobs=args.jobs, cache=cache)
         if args.csv:
             print(result.to_csv())
         else:
@@ -58,8 +78,10 @@ def main(argv=None) -> int:
             (outdir / f"{name}.txt").write_text(
                 result.render(plot=True) + "\n")
             (outdir / f"{name}.csv").write_text(result.to_csv() + "\n")
+        cache_note = (f", point cache {cache.hits} hit / "
+                      f"{cache.misses} miss" if cache is not None else "")
         print(f"\n[{name} regenerated in {time.time() - t0:.1f}s "  # repro: allow[wallclock]
-              f"wall]\n")
+              f"wall{cache_note}]\n")
     return 0
 
 

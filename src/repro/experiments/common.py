@@ -61,6 +61,25 @@ def with_sanitizers(run_fn: Callable) -> Callable:
     return wrapper
 
 
+def sweep(fn_path: str, point_kwargs: Sequence[Dict[str, Any]], *,
+          jobs: int = 1, cache: Optional[Any] = None) -> List[Any]:
+    """Run an experiment's sweep points through the parallel engine.
+
+    Every ``figNN_*.run`` entry point goes through here: it builds its
+    point list with the module's ``points()``, fans them out with
+    ``jobs`` workers (``jobs=1`` is the exact in-process serial path —
+    no pool, no pickling), and merges the returned payloads **in point
+    order**, which is what keeps ``--jobs N`` output bit-identical to
+    serial output.  ``cache`` is an optional
+    :class:`~repro.parallel.PointCache`.
+    """
+    from ..parallel import SweepPoint, run_sweep
+    points = [SweepPoint.make(fn_path, label=f"{fn_path.rsplit(':')[-1]}#{i}",
+                              **kw)
+              for i, kw in enumerate(point_kwargs)]
+    return run_sweep(points, jobs=jobs, cache=cache)
+
+
 def hopper_platform(nodes: int, *, cores_per_node: int = 24,
                     n_osts: int = 40, cost: Optional[CostModel] = None
                     ) -> PlatformSpec:

@@ -15,7 +15,7 @@ genuinely all-to-all); see EXPERIMENTS.md for scaling notes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from ..core import SUM_OP
 from ..io import CollectiveHints
 from ..workloads.climate import interleaved_workload
 from .common import (DEFAULT_HINTS, ExperimentResult, PAPER_COST,
-                     hopper_platform, run_objectio_job,
+                     hopper_platform, run_objectio_job, sweep,
                      with_sanitizers)
 
 #: The paper's machine shape for this figure.
@@ -34,13 +34,16 @@ CORES_PER_NODE = 12
 AGGREGATORS_PER_NODE = 6
 N_OSTS = 40
 
+#: ``--quick`` configuration.
+QUICK_KWARGS: Dict[str, Any] = dict(iterations=10)
 
-@with_sanitizers
-def run(iterations: int = 40, cb_buffer_size: int = 256 * KiB
-        ) -> ExperimentResult:
-    """Regenerate Figure 1 at a scale of ~``iterations`` iterations per
-    aggregator (the paper runs tens of thousands; the series' shape is
-    iteration-count invariant)."""
+_FN = "repro.experiments.fig01_io_profile:run_point"
+
+
+def run_point(iterations: int, cb_buffer_size: int) -> Tuple:
+    """The single simulated job of this figure: the instrumented
+    two-phase collective read.  Returns ``(rows, read_total,
+    shuffle_total, job_time)``."""
     platform = hopper_platform(NODES, cores_per_node=CORES_PER_NODE,
                                n_osts=N_OSTS)
     hints = CollectiveHints(cb_buffer_size=cb_buffer_size,
@@ -64,6 +67,23 @@ def run(iterations: int = 40, cb_buffer_size: int = 256 * KiB
             for it, dur in reads]
     read_total = out.timeline.critical_total("read")
     shuffle_total = out.timeline.critical_total("shuffle")
+    return rows, read_total, shuffle_total, out.time
+
+
+def points(iterations: int, cb_buffer_size: int) -> List[Dict[str, Any]]:
+    """This figure is one instrumented job: a single sweep point."""
+    return [dict(iterations=int(iterations),
+                 cb_buffer_size=int(cb_buffer_size))]
+
+
+@with_sanitizers
+def run(iterations: int = 40, cb_buffer_size: int = 256 * KiB, *,
+        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+    """Regenerate Figure 1 at a scale of ~``iterations`` iterations per
+    aggregator (the paper runs tens of thousands; the series' shape is
+    iteration-count invariant)."""
+    [(rows, read_total, shuffle_total, job_time)] = sweep(
+        _FN, points(iterations, cb_buffer_size), jobs=jobs, cache=cache)
     return ExperimentResult(
         experiment_id="fig1",
         title="I/O Profiling of Two-Phase Collective I/O "
@@ -82,7 +102,7 @@ def run(iterations: int = 40, cb_buffer_size: int = 256 * KiB
             ("total shuffle (critical, s)", round(shuffle_total, 4)),
             ("shuffle/read per-iteration ratio",
              round(shuffle_total / read_total, 3) if read_total else 0.0),
-            ("job time (s)", round(out.time, 4)),
+            ("job time (s)", round(job_time, 4)),
         ],
         paper_expectation=(
             "shuffle consumes substantial time each iteration, its total "

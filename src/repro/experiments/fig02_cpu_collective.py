@@ -11,20 +11,28 @@ over simulated time.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Tuple
+
 import numpy as np
 
 from ..config import KiB
 from ..core import SUM_OP
 from ..io import CollectiveHints
 from ..workloads.climate import interleaved_workload
-from .common import ExperimentResult, hopper_platform, run_objectio_job, with_sanitizers
+from .common import (ExperimentResult, hopper_platform, run_objectio_job,
+                     sweep, with_sanitizers)
 from .fig01_io_profile import (AGGREGATORS_PER_NODE, CORES_PER_NODE, NODES,
                                NPROCS, N_OSTS)
 
+#: ``--quick`` configuration.
+QUICK_KWARGS: Dict[str, Any] = dict(iterations=8)
 
-@with_sanitizers
-def run(iterations: int = 30, bins: int = 16) -> ExperimentResult:
-    """Regenerate Figure 2 (user/sys/wait percentages over time)."""
+_FN = "repro.experiments.fig02_cpu_collective:run_point"
+
+
+def run_point(iterations: int, bins: int) -> Tuple:
+    """The single profiled job; returns ``(rows, overall percentages,
+    job_time)``."""
     platform = hopper_platform(NODES, cores_per_node=CORES_PER_NODE,
                                n_osts=N_OSTS)
     hints = CollectiveHints(cb_buffer_size=256 * KiB,
@@ -44,7 +52,20 @@ def run(iterations: int = 30, bins: int = 16) -> ExperimentResult:
     series = out.profiler.series(width)
     rows = [(round(r["t"], 4), round(r["user"], 2), round(r["sys"], 2),
              round(r["wait"], 2)) for r in series]
-    overall = out.profiler.percentages()
+    return rows, out.profiler.percentages(), out.time
+
+
+def points(iterations: int, bins: int) -> List[Dict[str, Any]]:
+    """One profiled job: a single sweep point."""
+    return [dict(iterations=int(iterations), bins=int(bins))]
+
+
+@with_sanitizers
+def run(iterations: int = 30, bins: int = 16, *,
+        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+    """Regenerate Figure 2 (user/sys/wait percentages over time)."""
+    [(rows, overall, job_time)] = sweep(_FN, points(iterations, bins),
+                                        jobs=jobs, cache=cache)
     return ExperimentResult(
         experiment_id="fig2",
         title="CPU Profiling of Two-Phase Collective I/O",
@@ -57,7 +78,7 @@ def run(iterations: int = 30, bins: int = 16) -> ExperimentResult:
             ("overall user%", round(overall["user"], 2)),
             ("overall sys%", round(overall["sys"], 2)),
             ("overall wait%", round(overall["wait"], 2)),
-            ("job time (s)", round(out.time, 4)),
+            ("job time (s)", round(job_time, 4)),
         ],
         paper_expectation=(
             "I/O wait dominates throughout; a persistent sys% component "

@@ -7,25 +7,28 @@ even larger I/O-wait share, since the OSTs drown in small reads.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Tuple
+
 import numpy as np
 
 from ..config import KiB
 from ..core import SUM_OP
 from ..io import CollectiveHints
 from ..workloads.climate import interleaved_workload
-from .common import ExperimentResult, hopper_platform, run_objectio_job, with_sanitizers
+from .common import (ExperimentResult, hopper_platform, run_objectio_job,
+                     sweep, with_sanitizers)
 from .fig01_io_profile import (AGGREGATORS_PER_NODE, CORES_PER_NODE, NODES,
                                NPROCS, N_OSTS)
 
+#: ``--quick`` configuration.
+QUICK_KWARGS: Dict[str, Any] = dict(iterations=8)
 
-@with_sanitizers
-def run(iterations: int = 30, bins: int = 16) -> ExperimentResult:
-    """Regenerate Figure 3 (user/sys/wait under independent I/O).
+_FN = "repro.experiments.fig03_cpu_independent:run_point"
 
-    ``iterations`` is interpreted as the same data-volume knob as
-    Figure 2's, so the two figures profile the same request at the same
-    scale — only the I/O strategy differs.
-    """
+
+def run_point(iterations: int, bins: int) -> Tuple:
+    """The single profiled job (independent I/O); returns ``(rows,
+    overall percentages, job_time)``."""
     platform = hopper_platform(NODES, cores_per_node=CORES_PER_NODE,
                                n_osts=N_OSTS)
     hints = CollectiveHints(cb_buffer_size=256 * KiB,
@@ -45,7 +48,25 @@ def run(iterations: int = 30, bins: int = 16) -> ExperimentResult:
     series = out.profiler.series(width)
     rows = [(round(r["t"], 4), round(r["user"], 2), round(r["sys"], 2),
              round(r["wait"], 2)) for r in series]
-    overall = out.profiler.percentages()
+    return rows, out.profiler.percentages(), out.time
+
+
+def points(iterations: int, bins: int) -> List[Dict[str, Any]]:
+    """One profiled job: a single sweep point."""
+    return [dict(iterations=int(iterations), bins=int(bins))]
+
+
+@with_sanitizers
+def run(iterations: int = 30, bins: int = 16, *,
+        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+    """Regenerate Figure 3 (user/sys/wait under independent I/O).
+
+    ``iterations`` is interpreted as the same data-volume knob as
+    Figure 2's, so the two figures profile the same request at the same
+    scale — only the I/O strategy differs.
+    """
+    [(rows, overall, job_time)] = sweep(_FN, points(iterations, bins),
+                                        jobs=jobs, cache=cache)
     return ExperimentResult(
         experiment_id="fig3",
         title="CPU Profiling of Independent I/O",
@@ -58,7 +79,7 @@ def run(iterations: int = 30, bins: int = 16) -> ExperimentResult:
             ("overall user%", round(overall["user"], 2)),
             ("overall sys%", round(overall["sys"], 2)),
             ("overall wait%", round(overall["wait"], 2)),
-            ("job time (s)", round(out.time, 4)),
+            ("job time (s)", round(job_time, 4)),
         ],
         paper_expectation=(
             "wait% even higher than under collective I/O; negligible sys% "

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from typing import Any, Dict
+
 from ..config import MiB
 from ..core import SUM_OP
 from ..workloads.climate import interleaved_workload, ratio_ops_per_element
 from .common import (DEFAULT_HINTS, ExperimentResult, PAPER_COST,
                      hopper_platform, measure_io_time, run_objectio_job,
-                     with_sanitizers)
+                     sweep, with_sanitizers)
 
 #: The paper's configuration.
 NPROCS = 120
@@ -27,30 +29,63 @@ N_OSTS = 40
 RATIOS: Tuple[Tuple[int, int], ...] = (
     (10, 1), (5, 1), (2, 1), (1, 1), (1, 2), (1, 5), (1, 10))
 
+#: ``--quick`` configuration: the peak and its shoulders.
+QUICK_KWARGS: Dict[str, Any] = dict(per_rank_mib=1.0,
+                                    ratios=((2, 1), (1, 1), (1, 2)))
 
-@with_sanitizers
-def run(per_rank_mib: float = 2.0,
-        ratios: Sequence[Tuple[int, int]] = RATIOS) -> ExperimentResult:
-    """Regenerate Figure 9 at ``per_rank_mib`` MiB per process (the
-    paper reads an 800 GB dataset; speedup ratios are scale-invariant
-    under the cost model, see EXPERIMENTS.md)."""
+_FN = "repro.experiments.fig09_ratio_speedup:run_point"
+_CALIB_FN = "repro.experiments.fig09_ratio_speedup:calibrate_point"
+
+
+def calibrate_point(per_rank_mib: float) -> float:
+    """Calibration sweep point: the baseline I/O time (the ratio
+    denominator every swept point is scaled against)."""
     platform = hopper_platform(NODES, n_osts=N_OSTS)
     workload = interleaved_workload(NPROCS,
                                     per_rank_bytes=int(per_rank_mib * MiB))
-    t_io = measure_io_time(platform, workload)
-    rows: List[Tuple] = []
-    speedups: List[float] = []
-    for num, den in ratios:
-        ops = ratio_ops_per_element(num / den, t_io, NPROCS,
-                                    workload.gsub.n_elements,
-                                    PAPER_COST.core_element_rate)
-        op = SUM_OP.with_cost(ops)
-        mpi = run_objectio_job(platform, workload, op, block=True)
-        cc = run_objectio_job(platform, workload, op, block=False)
-        speedup = mpi.time / cc.time
-        speedups.append(speedup)
-        rows.append((f"{num}:{den}", round(mpi.time, 4), round(cc.time, 4),
-                     round(speedup, 3)))
+    return measure_io_time(platform, workload)
+
+
+def run_point(num: int, den: int, per_rank_mib: float,
+              t_io: float) -> Tuple[Tuple, float]:
+    """One figure row: both pipelines at one computation:I/O ratio.
+    Returns ``(row, unrounded speedup)`` — the settings averages use
+    the unrounded value."""
+    platform = hopper_platform(NODES, n_osts=N_OSTS)
+    workload = interleaved_workload(NPROCS,
+                                    per_rank_bytes=int(per_rank_mib * MiB))
+    ops = ratio_ops_per_element(num / den, t_io, NPROCS,
+                                workload.gsub.n_elements,
+                                PAPER_COST.core_element_rate)
+    op = SUM_OP.with_cost(ops)
+    mpi = run_objectio_job(platform, workload, op, block=True)
+    cc = run_objectio_job(platform, workload, op, block=False)
+    speedup = mpi.time / cc.time
+    row = (f"{num}:{den}", round(mpi.time, 4), round(cc.time, 4),
+           round(speedup, 3))
+    return row, speedup
+
+
+def points(per_rank_mib: float, ratios: Sequence[Tuple[int, int]],
+           t_io: float) -> List[Dict[str, Any]]:
+    """The sweep: one independent point per ratio."""
+    return [dict(num=int(num), den=int(den), per_rank_mib=per_rank_mib,
+                 t_io=t_io)
+            for num, den in ratios]
+
+
+@with_sanitizers
+def run(per_rank_mib: float = 2.0,
+        ratios: Sequence[Tuple[int, int]] = RATIOS, *,
+        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+    """Regenerate Figure 9 at ``per_rank_mib`` MiB per process (the
+    paper reads an 800 GB dataset; speedup ratios are scale-invariant
+    under the cost model, see EXPERIMENTS.md)."""
+    [t_io] = sweep(_CALIB_FN, [dict(per_rank_mib=per_rank_mib)], cache=cache)
+    payloads = sweep(_FN, points(per_rank_mib, ratios, t_io),
+                     jobs=jobs, cache=cache)
+    rows: List[Tuple] = [row for row, _ in payloads]
+    speedups: List[float] = [s for _, s in payloads]
     n = len(speedups)
     comp_heavy = speedups[: n // 2]
     io_heavy = speedups[n // 2 + 1:]

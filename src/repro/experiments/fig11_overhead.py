@@ -22,18 +22,26 @@ from typing import List, Sequence, Tuple
 
 import math
 
+from typing import Any, Dict
+
 from ..config import MiB
 from ..core import SUM_OP
 from ..workloads.climate import Workload, interleaved_workload
 from ..dataspace import DatasetSpec, block_partition, full_selection
 from .common import (ExperimentResult, hopper_platform, run_objectio_job,
-                     with_sanitizers)
+                     sweep, with_sanitizers)
 
 #: Process counts of the figure.
 PROCESS_COUNTS: Tuple[int, ...] = (128, 256, 512)
 #: CPU weight of the analysis operator (visible but not dominant).
 OP_COST = 4.0
 N_OSTS = 40
+
+#: ``--quick`` configuration.
+QUICK_KWARGS: Dict[str, Any] = dict(total_mib_small=24.0,
+                                    process_counts=(128, 256))
+
+_FN = "repro.experiments.fig11_overhead:run_point"
 
 import numpy as np
 
@@ -62,32 +70,46 @@ def _contiguous_workload(nprocs: int, total_bytes: int) -> Workload:
     return Workload(dspec, gsub, tuple(parts))
 
 
+def run_point(nprocs: int, total_mib_small: float) -> Tuple[Tuple, float]:
+    """One figure row: the three jobs at one process count.  Returns
+    ``(row, cc40 job time)`` — the latter feeds the settings average."""
+    op = SUM_OP.with_cost(OP_COST)
+    nodes = max(1, math.ceil(nprocs / 24))
+    platform = hopper_platform(nodes, n_osts=N_OSTS)
+    w40 = _contiguous_workload(nprocs, int(total_mib_small * MiB))
+    w80 = _contiguous_workload(nprocs, int(2 * total_mib_small * MiB))
+    mpi40 = run_objectio_job(platform, w40, op, block=True,
+                             hints=HINTS_FIG11)
+    cc40 = run_objectio_job(platform, w40, op, block=False,
+                            hints=HINTS_FIG11)
+    cc80 = run_objectio_job(platform, w80, op, block=False,
+                            hints=HINTS_FIG11)
+    row = (
+        nprocs,
+        round(mpi40.stats.map_time / nprocs * 1e6, 3),
+        round(cc40.stats.local_reduction_time / nprocs * 1e6, 3),
+        round(cc80.stats.local_reduction_time / nprocs * 1e6, 3),
+    )
+    return row, cc40.time
+
+
+def points(total_mib_small: float,
+           process_counts: Sequence[int]) -> List[Dict[str, Any]]:
+    """The sweep: one independent point per process count."""
+    return [dict(nprocs=int(nprocs), total_mib_small=float(total_mib_small))
+            for nprocs in process_counts]
+
+
 @with_sanitizers
 def run(total_mib_small: float = 48.0,
-        process_counts: Sequence[int] = PROCESS_COUNTS) -> ExperimentResult:
+        process_counts: Sequence[int] = PROCESS_COUNTS, *,
+        jobs: int = 1, cache: Any = None) -> ExperimentResult:
     """Regenerate Figure 11; ``total_mib_small`` stands in for the
     paper's 40 GB (the 80 GB series uses twice that)."""
-    op = SUM_OP.with_cost(OP_COST)
-    rows: List[Tuple] = []
-    io_costs: List[float] = []
-    for nprocs in process_counts:
-        nodes = max(1, math.ceil(nprocs / 24))
-        platform = hopper_platform(nodes, n_osts=N_OSTS)
-        w40 = _contiguous_workload(nprocs, int(total_mib_small * MiB))
-        w80 = _contiguous_workload(nprocs, int(2 * total_mib_small * MiB))
-        mpi40 = run_objectio_job(platform, w40, op, block=True,
-                                 hints=HINTS_FIG11)
-        cc40 = run_objectio_job(platform, w40, op, block=False,
-                                hints=HINTS_FIG11)
-        cc80 = run_objectio_job(platform, w80, op, block=False,
-                                hints=HINTS_FIG11)
-        io_costs.append(cc40.time)
-        rows.append((
-            nprocs,
-            round(mpi40.stats.map_time / nprocs * 1e6, 3),
-            round(cc40.stats.local_reduction_time / nprocs * 1e6, 3),
-            round(cc80.stats.local_reduction_time / nprocs * 1e6, 3),
-        ))
+    payloads = sweep(_FN, points(total_mib_small, process_counts),
+                     jobs=jobs, cache=cache)
+    rows: List[Tuple] = [row for row, _ in payloads]
+    io_costs: List[float] = [t for _, t in payloads]
     return ExperimentResult(
         experiment_id="fig11",
         title="Overhead Analysis: local reduction vs MPI reduction "

@@ -21,18 +21,26 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from typing import Any, Dict
+
 from ..config import KiB, MiB
 from ..core import SUM_OP
 from ..dataspace import DatasetSpec, Subarray
 from ..io import CollectiveHints
 from ..workloads.climate import Workload
-from .common import ExperimentResult, hopper_platform, run_objectio_job, with_sanitizers
+from .common import (ExperimentResult, hopper_platform, run_objectio_job,
+                     sweep, with_sanitizers)
 
 #: Buffer sizes of the paper's sweep (MB).
 BUFFER_SIZES_MB: Tuple[int, ...] = (1, 4, 8, 12, 24)
 NPROCS = 72
 NODES = 6
 N_OSTS = 40
+
+#: ``--quick`` configuration.
+QUICK_KWARGS: Dict[str, Any] = dict(scale=0.5, buffer_sizes_mb=(1, 8, 24))
+
+_FN = "repro.experiments.fig12_metadata:run_point"
 
 
 def _varied_subset_workload(nprocs: int, scale: float) -> Workload:
@@ -56,32 +64,43 @@ def _varied_subset_workload(nprocs: int, scale: float) -> Workload:
     return Workload(dspec, gsub, tuple(parts))
 
 
+def run_point(mb: int, scale: float) -> Tuple:
+    """One figure row: the CC job at one collective-buffer size."""
+    platform = hopper_platform(NODES, cores_per_node=12, n_osts=N_OSTS)
+    workload = _varied_subset_workload(NPROCS, scale)
+    cb = max(int(mb * scale * MiB), 64 * KiB)
+    hints = CollectiveHints(cb_buffer_size=cb, aggregators_per_node=1)
+    out = run_objectio_job(platform, workload, SUM_OP, block=False,
+                           hints=hints, stripe_size=1 * MiB,
+                           stripe_count=N_OSTS)
+    return (
+        mb,
+        round(out.stats.metadata_bytes / KiB, 3),
+        out.stats.partial_count,
+        out.stats.block_count,
+        round(out.time, 4),
+    )
+
+
+def points(scale: float,
+           buffer_sizes_mb: Sequence[int]) -> List[Dict[str, Any]]:
+    """The sweep: one independent point per buffer size."""
+    return [dict(mb=int(mb), scale=float(scale)) for mb in buffer_sizes_mb]
+
+
 @with_sanitizers
 def run(scale: float = 1.0,
-        buffer_sizes_mb: Sequence[int] = BUFFER_SIZES_MB
-        ) -> ExperimentResult:
+        buffer_sizes_mb: Sequence[int] = BUFFER_SIZES_MB, *,
+        jobs: int = 1, cache: Any = None) -> ExperimentResult:
     """Regenerate Figure 12.
 
     ``scale`` shrinks the subset sizes *and* the swept buffer sizes
     together, preserving the subset-size : buffer-size ratios the
     figure is about (scale 1.0 uses the paper's actual 1-24 MB range).
     """
-    platform = hopper_platform(NODES, cores_per_node=12, n_osts=N_OSTS)
     workload = _varied_subset_workload(NPROCS, scale)
-    rows: List[Tuple] = []
-    for mb in buffer_sizes_mb:
-        cb = max(int(mb * scale * MiB), 64 * KiB)
-        hints = CollectiveHints(cb_buffer_size=cb, aggregators_per_node=1)
-        out = run_objectio_job(platform, workload, SUM_OP, block=False,
-                               hints=hints, stripe_size=1 * MiB,
-                               stripe_count=N_OSTS)
-        rows.append((
-            mb,
-            round(out.stats.metadata_bytes / KiB, 3),
-            out.stats.partial_count,
-            out.stats.block_count,
-            round(out.time, 4),
-        ))
+    rows: List[Tuple] = sweep(_FN, points(scale, buffer_sizes_mb),
+                              jobs=jobs, cache=cache)
     meta = [r[1] for r in rows]
     return ExperimentResult(
         experiment_id="fig12",

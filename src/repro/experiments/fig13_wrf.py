@@ -27,9 +27,11 @@ from ..dataspace import DatasetSpec
 from ..highlevel import NCFile, create_dataset
 from ..mpi import mpi_run
 from ..sim import Kernel
+from typing import Any, Dict
 from ..workloads.wrf import HurricaneGrid, hurricane_workload
 from ..io import CollectiveHints
-from .common import DEFAULT_HINTS, ExperimentResult, hopper_platform, with_sanitizers
+from .common import (DEFAULT_HINTS, ExperimentResult, hopper_platform,
+                     sweep, with_sanitizers)
 
 NPROCS = 96
 NODES = 4
@@ -42,6 +44,22 @@ SIZE_LABELS: Tuple[Tuple[int, float], ...] = (
 #: what yields the paper's ~1.45x (the operator weight is calibrated
 #: against the measured ingestion time of the smallest size).
 TARGET_RATIO = 0.5
+
+#: ``--quick`` configuration: two sizes at a smaller grid.
+QUICK_KWARGS: Dict[str, Any] = dict(scale=0.02,
+                                    sizes=((50, 0.125), (100, 0.25)))
+
+_FN = "repro.experiments.fig13_wrf:run_point"
+_CALIB_FN = "repro.experiments.fig13_wrf:calibrate_point"
+
+
+def _task_spec(task: str):
+    """Map a task name to its (variable, base operator)."""
+    if task == "min_slp":
+        return "PSFC", MINLOC_OP
+    if task == "max_wind":
+        return "WS10", MAXLOC_OP
+    raise ValueError(f"unknown task {task!r}")
 
 
 def _run_task(grid: HurricaneGrid, gsub, parts, *, variable: str, op,
@@ -71,52 +89,75 @@ def _run_task(grid: HurricaneGrid, gsub, parts, *, variable: str, op,
     return kernel.now, results[0], stats
 
 
-@with_sanitizers
-def run(scale: float = 0.04,
-        sizes: Sequence[Tuple[int, float]] = SIZE_LABELS,
-        task: str = "min_slp") -> ExperimentResult:
-    """Regenerate Figure 13 for ``task`` ("min_slp" or "max_wind")."""
-    if task == "min_slp":
-        variable, op_base = "PSFC", MINLOC_OP
-    elif task == "max_wind":
-        variable, op_base = "WS10", MAXLOC_OP
-    else:
-        raise ValueError(f"unknown task {task!r}")
-    # Calibrate the operator weight once, on the smallest size: the scan
-    # costs TARGET_RATIO x the ingestion time of its data.
+def calibrate_point(scale: float, fraction0: float, task: str) -> float:
+    """Calibration sweep point: the operator weight making the scan
+    cost ``TARGET_RATIO`` x the ingestion time of the smallest size."""
+    variable, op_base = _task_spec(task)
     grid0, gsub0, parts0 = hurricane_workload(NPROCS, scale=scale,
-                                              time_fraction=sizes[0][1])
+                                              time_fraction=fraction0)
     t_read, _, _ = _run_task(grid0, gsub0, parts0, variable=variable,
                              op=op_base.with_cost(1e-9), block=False,
                              scale=scale)
     from .common import PAPER_COST
-    ops = (TARGET_RATIO * t_read * PAPER_COST.core_element_rate * NPROCS
-           / gsub0.n_elements)
+    return (TARGET_RATIO * t_read * PAPER_COST.core_element_rate * NPROCS
+            / gsub0.n_elements)
+
+
+def run_point(label_gb: int, fraction: float, scale: float, task: str,
+              ops: float) -> Tuple[Tuple, float]:
+    """One figure row: both pipelines at one workload size, with the
+    CC-vs-MPI agreement check.  Returns ``(row, unrounded speedup)``."""
+    variable, op_base = _task_spec(task)
     op = op_base.with_cost(ops)
-    rows: List[Tuple] = []
-    speedups: List[float] = []
+    grid, gsub, parts = hurricane_workload(NPROCS, scale=scale,
+                                           time_fraction=fraction)
+    t_mpi, res_mpi, _ = _run_task(grid, gsub, parts, variable=variable,
+                                  op=op, block=True, scale=scale)
+    t_cc, res_cc, _ = _run_task(grid, gsub, parts, variable=variable,
+                                op=op, block=False, scale=scale)
+    if res_mpi.global_result != res_cc.global_result:
+        raise AssertionError(
+            f"CC and MPI disagree at {label_gb}GB: "
+            f"{res_cc.global_result} vs {res_mpi.global_result}"
+        )
+    value, linear = res_cc.global_result
+    spec = DatasetSpec(grid.shape, np.float64)
+    _, coords = locate(spec, (value, linear))
+    row = (label_gb, round(t_mpi, 4), round(t_cc, 4),
+           round(t_mpi / t_cc, 3), round(value, 2), coords)
+    return row, t_mpi / t_cc
+
+
+def points(scale: float, sizes: Sequence[Tuple[int, float]], task: str,
+           ops: float) -> List[Dict[str, Any]]:
+    """The sweep: one independent point per workload size."""
+    return [dict(label_gb=int(label_gb), fraction=float(fraction),
+                 scale=float(scale), task=task, ops=ops)
+            for label_gb, fraction in sizes]
+
+
+@with_sanitizers
+def run(scale: float = 0.04,
+        sizes: Sequence[Tuple[int, float]] = SIZE_LABELS,
+        task: str = "min_slp", *,
+        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+    """Regenerate Figure 13 for ``task`` ("min_slp" or "max_wind")."""
+    variable, _op_base = _task_spec(task)
+    # Calibrate the operator weight once, on the smallest size: the scan
+    # costs TARGET_RATIO x the ingestion time of its data.
+    [ops] = sweep(_CALIB_FN,
+                  [dict(scale=float(scale), fraction0=float(sizes[0][1]),
+                        task=task)], cache=cache)
+    op = _task_spec(task)[1].with_cost(ops)
+    payloads = sweep(_FN, points(scale, sizes, task, ops),
+                     jobs=jobs, cache=cache)
+    rows: List[Tuple] = [row for row, _ in payloads]
+    speedups: List[float] = [s for _, s in payloads]
     check_note = ""
-    for label_gb, fraction in sizes:
-        grid, gsub, parts = hurricane_workload(NPROCS, scale=scale,
-                                               time_fraction=fraction)
-        t_mpi, res_mpi, _ = _run_task(grid, gsub, parts, variable=variable,
-                                      op=op, block=True, scale=scale)
-        t_cc, res_cc, _ = _run_task(grid, gsub, parts, variable=variable,
-                                    op=op, block=False, scale=scale)
-        if res_mpi.global_result != res_cc.global_result:
-            raise AssertionError(
-                f"CC and MPI disagree at {label_gb}GB: "
-                f"{res_cc.global_result} vs {res_mpi.global_result}"
-            )
-        speedups.append(t_mpi / t_cc)
-        value, linear = res_cc.global_result
-        spec = DatasetSpec(grid.shape, np.float64)
-        _, coords = locate(spec, (value, linear))
-        rows.append((label_gb, round(t_mpi, 4), round(t_cc, 4),
-                     round(t_mpi / t_cc, 3), round(value, 2), coords))
-        if not check_note:
-            check_note = (f"extremum at {label_gb}GB: value {value:.2f} "
-                          f"at (t,y,x)={coords}")
+    for label_gb, _t1, _t2, _s, value, coords in rows:
+        check_note = (f"extremum at {label_gb}GB: value {value:.2f} "
+                      f"at (t,y,x)={coords}")
+        break
     return ExperimentResult(
         experiment_id="fig13",
         title=f"WRF Performance with Collective Computing — task: {task}",

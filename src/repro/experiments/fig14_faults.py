@@ -21,7 +21,7 @@ dominate both pipelines.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import Machine
 from ..config import KiB, MiB
@@ -33,7 +33,7 @@ from ..mpi import mpi_run
 from ..sim import Kernel
 from ..workloads.climate import Workload, interleaved_workload
 from .common import (DEFAULT_HINTS, ExperimentResult, hopper_platform,
-                     with_sanitizers)
+                     sweep, with_sanitizers)
 
 #: Injected fault rates swept (0.0 first: the bit-identity reference).
 FAULT_RATES: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4)
@@ -42,6 +42,12 @@ SEED = 2015
 #: Injected aggregator straggle must exceed the receivers' suspicion
 #: timeout, or it would model jitter, not a straggler.
 STRAGGLE_SECONDS = 1.0
+
+#: ``--quick`` configuration.
+QUICK_KWARGS: Dict[str, Any] = dict(nprocs=24, per_rank_kib=128,
+                                    fault_rates=(0.0, 0.1, 0.4))
+
+_FN = "repro.experiments.fig14_faults:run_point"
 
 
 def _fault_plan(rate: float, seed: int) -> Optional[FaultPlan]:
@@ -91,25 +97,48 @@ def _run_resilient(platform, workload: Workload, op, *, block: bool,
     return max(finish), wire, injected, recovered, results[0].global_result
 
 
-@with_sanitizers
-def run(nprocs: int = 48, per_rank_kib: int = 512,
-        fault_rates: Sequence[float] = FAULT_RATES,
-        seed: int = SEED) -> ExperimentResult:
-    """Regenerate Figure 14 (completion time and wire bytes vs injected
-    fault rate, resilient CC vs resilient two-phase baseline)."""
+def run_point(nprocs: int, per_rank_kib: int, rate: float, seed: int,
+              block: bool) -> Tuple[float, int, int, int, Any]:
+    """One resilient job (one pipeline at one fault rate); returns the
+    raw ``_run_resilient`` tuple for the merge phase."""
     platform = hopper_platform(max(1, -(-nprocs // 24)))
     workload = interleaved_workload(nprocs,
                                     per_rank_bytes=per_rank_kib * KiB)
-    op = SUM_OP
     policy = RecoveryPolicy(retry=RetryPolicy(max_retries=6))
+    plan = _fault_plan(rate, seed)
+    return _run_resilient(platform, workload, SUM_OP, block=block,
+                          plan=plan, policy=policy)
+
+
+def points(nprocs: int, per_rank_kib: int, fault_rates: Sequence[float],
+           seed: int) -> List[Dict[str, Any]]:
+    """The sweep: per fault rate, one CC job and one baseline job —
+    every job builds its own kernel, so all are independent."""
+    pts: List[Dict[str, Any]] = []
+    for rate in fault_rates:
+        for block in (False, True):
+            pts.append(dict(nprocs=int(nprocs),
+                            per_rank_kib=int(per_rank_kib),
+                            rate=float(rate), seed=int(seed),
+                            block=block))
+    return pts
+
+
+@with_sanitizers
+def run(nprocs: int = 48, per_rank_kib: int = 512,
+        fault_rates: Sequence[float] = FAULT_RATES,
+        seed: int = SEED, *,
+        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+    """Regenerate Figure 14 (completion time and wire bytes vs injected
+    fault rate, resilient CC vs resilient two-phase baseline)."""
+    policy = RecoveryPolicy(retry=RetryPolicy(max_retries=6))
+    payloads = sweep(_FN, points(nprocs, per_rank_kib, fault_rates, seed),
+                     jobs=jobs, cache=cache)
     rows: List[Tuple] = []
     reference: dict = {}
-    for rate in fault_rates:
-        plan = _fault_plan(rate, seed)
-        cc_t, cc_b, cc_inj, cc_rec, cc_res = _run_resilient(
-            platform, workload, op, block=False, plan=plan, policy=policy)
-        mpi_t, mpi_b, mpi_inj, mpi_rec, mpi_res = _run_resilient(
-            platform, workload, op, block=True, plan=plan, policy=policy)
+    for i, rate in enumerate(fault_rates):
+        cc_t, cc_b, cc_inj, cc_rec, cc_res = payloads[2 * i]
+        mpi_t, mpi_b, mpi_inj, mpi_rec, mpi_res = payloads[2 * i + 1]
         reference.setdefault("cc", cc_res)
         reference.setdefault("mpi", mpi_res)
         ok = (cc_res == reference["cc"] and mpi_res == reference["mpi"])

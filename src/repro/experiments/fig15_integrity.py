@@ -27,7 +27,7 @@ window re-ships compact partials, not raw window bytes.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import Machine
 from ..config import KiB, MiB
@@ -40,13 +40,19 @@ from ..mpi import mpi_run
 from ..sim import Kernel
 from ..workloads.climate import Workload, interleaved_workload
 from .common import (DEFAULT_HINTS, ExperimentResult, hopper_platform,
-                     with_sanitizers)
+                     sweep, with_sanitizers)
 
 #: Corruption rates swept (0.0 first: prices the idle integrity layer
 #: and anchors the bit-identity reference).
 CORRUPT_RATES: Tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.1)
 #: Fault-plan seed (the whole corruption schedule derives from it).
 SEED = 2015
+
+#: ``--quick`` configuration.
+QUICK_KWARGS: Dict[str, Any] = dict(nprocs=12, per_rank_kib=32,
+                                    corrupt_rates=(0.0, 0.02, 0.1))
+
+_FN = "repro.experiments.fig15_integrity:run_point"
 
 
 def _corruption_plan(rate: float, seed: int) -> Optional[FaultPlan]:
@@ -96,35 +102,59 @@ def _run_checked(platform, workload: Workload, op, *, block: bool,
     return max(finish), wire, detected, repaired, results[0].global_result
 
 
-@with_sanitizers
-def run(nprocs: int = 24, per_rank_kib: int = 64,
-        corrupt_rates: Sequence[float] = CORRUPT_RATES,
-        seed: int = SEED) -> ExperimentResult:
-    """Regenerate Figure 15 (completion time and wire bytes vs silent
-    corruption rate, checksummed CC vs checksummed two-phase, verified
-    bit-identical to the checksums-off fault-free run)."""
+def run_point(nprocs: int, per_rank_kib: int, rate: float, seed: int,
+              block: bool, checksums: bool) -> Tuple[float, int, int, int,
+                                                     Any]:
+    """One job (one pipeline at one corruption rate, checksums on or
+    off); returns the raw ``_run_checked`` tuple for the merge phase."""
     platform = hopper_platform(max(1, -(-nprocs // 24)))
     workload = interleaved_workload(nprocs,
                                     per_rank_bytes=per_rank_kib * KiB)
-    op = SUM_OP
     policy = RecoveryPolicy(retry=RetryPolicy(max_retries=6))
+    plan = _corruption_plan(rate, seed)
+    return _run_checked(platform, workload, SUM_OP, block=block,
+                        plan=plan, policy=policy, checksums=checksums)
+
+
+def points(nprocs: int, per_rank_kib: int,
+           corrupt_rates: Sequence[float],
+           seed: int) -> List[Dict[str, Any]]:
+    """The sweep: the two checksums-off fault-free reference jobs first,
+    then per corruption rate one checksummed CC job and one checksummed
+    baseline job — every job builds its own kernel, so all are
+    independent."""
+    base = dict(nprocs=int(nprocs), per_rank_kib=int(per_rank_kib),
+                seed=int(seed))
+    pts: List[Dict[str, Any]] = [
+        dict(base, rate=0.0, block=False, checksums=False),
+        dict(base, rate=0.0, block=True, checksums=False),
+    ]
+    for rate in corrupt_rates:
+        for block in (False, True):
+            pts.append(dict(base, rate=float(rate), block=block,
+                            checksums=True))
+    return pts
+
+
+@with_sanitizers
+def run(nprocs: int = 24, per_rank_kib: int = 64,
+        corrupt_rates: Sequence[float] = CORRUPT_RATES,
+        seed: int = SEED, *,
+        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+    """Regenerate Figure 15 (completion time and wire bytes vs silent
+    corruption rate, checksummed CC vs checksummed two-phase, verified
+    bit-identical to the checksums-off fault-free run)."""
+    policy = RecoveryPolicy(retry=RetryPolicy(max_retries=6))
+    payloads = sweep(_FN, points(nprocs, per_rank_kib, corrupt_rates, seed),
+                     jobs=jobs, cache=cache)
     # The reference: checksums off, no faults.  Every checksummed row —
     # including the corrupted ones — must reproduce it bit-for-bit.
-    _, _, _, _, cc_ref = _run_checked(
-        platform, workload, op, block=False, plan=None, policy=policy,
-        checksums=False)
-    _, _, _, _, mpi_ref = _run_checked(
-        platform, workload, op, block=True, plan=None, policy=policy,
-        checksums=False)
+    _, _, _, _, cc_ref = payloads[0]
+    _, _, _, _, mpi_ref = payloads[1]
     rows: List[Tuple] = []
-    for rate in corrupt_rates:
-        plan = _corruption_plan(rate, seed)
-        cc_t, cc_b, cc_det, cc_rep, cc_res = _run_checked(
-            platform, workload, op, block=False, plan=plan, policy=policy,
-            checksums=True)
-        mpi_t, mpi_b, mpi_det, mpi_rep, mpi_res = _run_checked(
-            platform, workload, op, block=True, plan=plan, policy=policy,
-            checksums=True)
+    for i, rate in enumerate(corrupt_rates):
+        cc_t, cc_b, cc_det, cc_rep, cc_res = payloads[2 + 2 * i]
+        mpi_t, mpi_b, mpi_det, mpi_rep, mpi_res = payloads[3 + 2 * i]
         ok = (cc_res == cc_ref and mpi_res == mpi_ref)
         rows.append((rate, round(mpi_t, 4), round(cc_t, 4),
                      round(mpi_b / MiB, 3), round(cc_b / MiB, 3),

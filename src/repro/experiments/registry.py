@@ -6,6 +6,7 @@ figure; ``all`` runs everything in order.
 
 from __future__ import annotations
 
+from types import ModuleType
 from typing import Callable, Dict, List
 
 from . import (fig01_io_profile, fig02_cpu_collective, fig03_cpu_independent,
@@ -14,33 +15,49 @@ from . import (fig01_io_profile, fig02_cpu_collective, fig03_cpu_independent,
                table1_incite)
 from .common import ExperimentResult
 
-#: All experiments, in paper order.
+#: All experiment modules, in paper order.  Every module exposes the
+#: sweep protocol — ``points()`` + ``run_point()`` consumed by
+#: :func:`repro.parallel.run_sweep`, a ``run(*, jobs=1, cache=None)``
+#: entrypoint, and a ``QUICK_KWARGS`` dict for ``--quick``.
+MODULES: Dict[str, ModuleType] = {
+    "table1": table1_incite,
+    "fig1": fig01_io_profile,
+    "fig2": fig02_cpu_collective,
+    "fig3": fig03_cpu_independent,
+    "fig9": fig09_ratio_speedup,
+    "fig10": fig10_scalability,
+    "fig11": fig11_overhead,
+    "fig12": fig12_metadata,
+    "fig13": fig13_wrf,
+    "fig14": fig14_faults,
+    "fig15": fig15_integrity,
+}
+
+#: All experiment runners, in paper order (kept for API compatibility).
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "table1": table1_incite.run,
-    "fig1": fig01_io_profile.run,
-    "fig2": fig02_cpu_collective.run,
-    "fig3": fig03_cpu_independent.run,
-    "fig9": fig09_ratio_speedup.run,
-    "fig10": fig10_scalability.run,
-    "fig11": fig11_overhead.run,
-    "fig12": fig12_metadata.run,
-    "fig13": fig13_wrf.run,
-    "fig14": fig14_faults.run,
-    "fig15": fig15_integrity.run,
+    name: module.run for name, module in MODULES.items()
 }
 
 
 def names() -> List[str]:
     """Experiment ids in paper order."""
-    return list(EXPERIMENTS)
+    return list(MODULES)
 
 
-def run(name: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id."""
+def run(name: str, *, quick: bool = False, **kwargs) -> ExperimentResult:
+    """Run one experiment by id.
+
+    ``quick=True`` merges the module's ``QUICK_KWARGS`` (a smaller,
+    faster configuration of the same sweep) under any explicit kwargs.
+    """
     try:
-        runner = EXPERIMENTS[name]
+        module = MODULES[name]
     except KeyError:
         raise KeyError(
-            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+            f"unknown experiment {name!r}; available: {', '.join(MODULES)}"
         ) from None
-    return runner(**kwargs)
+    if quick:
+        merged = dict(getattr(module, "QUICK_KWARGS", {}))
+        merged.update(kwargs)
+        kwargs = merged
+    return module.run(**kwargs)

@@ -2,22 +2,42 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Tuple
+
 from ..workloads import incite
-from .common import ExperimentResult, with_sanitizers
+from .common import ExperimentResult, sweep, with_sanitizers
+
+#: ``--quick`` configuration (the table is already instant).
+QUICK_KWARGS: Dict[str, Any] = {}
+
+_FN = "repro.experiments.table1_incite:run_point"
+
+
+def run_point() -> Tuple:
+    """The table's single point: rows plus the summary totals."""
+    return (incite.rows(), len(incite.PROJECTS),
+            incite.total_online_tb(), incite.total_offline_tb())
+
+
+def points() -> List[Dict[str, Any]]:
+    """A static table: a single (trivial) sweep point."""
+    return [{}]
 
 
 @with_sanitizers
-def run() -> ExperimentResult:
+def run(*, jobs: int = 1, cache: Any = None) -> ExperimentResult:
     """Regenerate the paper's Table I."""
+    [(rows, n_projects, online_tb, offline_tb)] = sweep(
+        _FN, points(), jobs=jobs, cache=cache)
     return ExperimentResult(
         experiment_id="table1",
         title="Data Requirements of Representative INCITE Applications at ALCF",
         headers=["Project", "On-Line Data", "Off-Line Data"],
-        rows=incite.rows(),
+        rows=rows,
         settings=[
-            ("projects", len(incite.PROJECTS)),
-            ("total on-line (TB)", incite.total_online_tb()),
-            ("total off-line (TB)", incite.total_offline_tb()),
+            ("projects", n_projects),
+            ("total on-line (TB)", online_tb),
+            ("total off-line (TB)", offline_tb),
         ],
         paper_expectation=(
             "on-line volumes exceed TBs (FLASH 75TB); off-line data "

@@ -1,0 +1,142 @@
+"""Persistent on-disk cache of sweep-point results.
+
+A point is deterministic: its result is a pure function of (the code,
+the function, the kwargs).  The cache key is therefore::
+
+    sha256(code_digest | fn_path | canonical(kwargs) | check_flag)
+
+where ``code_digest`` hashes every ``*.py`` file of the installed
+``repro`` package — *any* source edit invalidates *every* cached point
+(coarse on purpose: cross-module effects like a cost-model tweak must
+never serve stale rows).  The sanitizer flag is part of the key so a
+``--check`` run never "verifies" by reading back an unchecked result.
+
+Entries live under ``results/.pointcache/<k[:2]>/<k>.pkl`` as pickles
+of ``{"fn", "kwargs", "value"}``.  Unreadable or truncated entries are
+treated as misses and rewritten; the cache is safe to delete wholesale
+at any time (``python -m repro.experiments --clear-cache`` does
+exactly that).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Any, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sweep import SweepPoint
+
+#: Default location, relative to the working directory (the repo root
+#: in every documented invocation).
+DEFAULT_ROOT = Path("results") / ".pointcache"
+
+
+@functools.lru_cache(maxsize=1)
+def code_digest() -> str:
+    """SHA-256 over the sources of the installed ``repro`` package.
+
+    Computed once per process (~180 files, a few milliseconds).  File
+    order is the sorted relative path, and each file contributes its
+    path and contents, so renames invalidate too.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _canonical(value: Any) -> str:
+    """A stable text rendering of kwargs values for the cache key.
+
+    Tuples and lists render identically (CLI round-trips turn tuples
+    into lists); floats use ``repr`` (exact); everything else must
+    already be a plain scalar/string for the point to be picklable.
+    """
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    if isinstance(value, dict):
+        items = sorted(value.items())
+        return "{" + ",".join(f"{k}:{_canonical(v)}" for k, v in items) + "}"
+    if isinstance(value, float):
+        return repr(value)
+    return f"{type(value).__name__}={value!r}"
+
+
+class PointCache:
+    """Filesystem-backed result cache for :func:`~repro.parallel.run_sweep`.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    """
+
+    def __init__(self, root: Path = DEFAULT_ROOT) -> None:
+        self.root = Path(root)
+        #: Counters for reporting (e.g. ``track.py`` cold/warm split).
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, point: "SweepPoint") -> str:
+        """The content-address of ``point`` (see module docstring)."""
+        from ..check.flags import checks_enabled
+
+        digest = hashlib.sha256()
+        digest.update(code_digest().encode())
+        digest.update(point.fn.encode())
+        for name, value in point.kwargs:
+            digest.update(f"|{name}={_canonical(value)}".encode())
+        digest.update(b"|check=1" if checks_enabled() else b"|check=0")
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, point: "SweepPoint") -> Tuple[bool, Optional[Any]]:
+        """``(hit, value)`` — a corrupt or unreadable entry is a miss."""
+        path = self._path(self.key(point))
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            value = entry["value"]
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError,
+                AttributeError, ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, point: "SweepPoint", value: Any) -> None:
+        """Store one result (atomically: write-then-rename)."""
+        path = self._path(self.key(point))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"fn": point.fn, "kwargs": point.kwargs, "value": value}
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.pkl"):
+                path.unlink()
+                removed += 1
+            for sub in sorted(self.root.glob("*"), reverse=True):
+                if sub.is_dir() and not any(sub.iterdir()):
+                    sub.rmdir()
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of cached results on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))

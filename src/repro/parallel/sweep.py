@@ -1,0 +1,210 @@
+"""The sweep engine: ordered fan-out of independent simulation points.
+
+``run_sweep`` is the single entry point both CLIs go through.  Its
+contract:
+
+* **Bit-identical merge** — results come back as a list aligned with
+  the input points, whatever the interleaving of worker completions;
+  callers build figure rows / campaign verdicts by iterating that list,
+  so ``jobs=N`` output is byte-equal to ``jobs=1`` output.
+* **No pool at ``jobs=1``** — the serial path calls each point's
+  function directly in-process: no pickling, no subprocess, identical
+  to the pre-parallel code (the CI default stays exactly as today).
+* **Spawn-safe** — the pool uses the ``spawn`` start method
+  everywhere, so workers never inherit forked interpreter state; a
+  point must be a *module-level* function named by its dotted path and
+  its kwargs must be plain picklable values.
+* **Check-flag propagation** — the parent's ``REPRO_CHECK``/
+  :func:`~repro.check.flags.checks_enabled` state at call time is
+  re-applied inside every worker (``enable_checks`` is process-local,
+  so an ``override_checks(True)`` scope in the parent would otherwise
+  be invisible to spawned children).
+* **Per-point error capture** — a worker failure is shipped back as
+  text (never as a possibly-unpicklable exception object) and re-raised
+  here as :class:`PointError` naming the function, index and kwargs of
+  the failing point, so it can be replayed exactly with ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .worker import execute_point, init_worker, resolve
+
+#: Cap applied by :func:`default_jobs`; sweeps rarely have more points.
+_MAX_DEFAULT_JOBS = 8
+
+
+class PointError(ReproError):
+    """A sweep point failed.
+
+    The message names the point's function, its index in the sweep and
+    its exact kwargs, and includes a copy-pasteable one-liner that
+    replays just that point serially (no pool, same bits).
+
+    When the point ran in a worker process the original traceback is
+    appended verbatim (the exception object itself never crosses the
+    pool boundary — only its rendering does, so unpicklable exception
+    args can never wedge the pool).
+    """
+
+    def __init__(self, point: "SweepPoint", index: int, message: str,
+                 worker_traceback: Optional[str] = None) -> None:
+        self.point = point
+        self.index = index
+        self.message = message
+        self.worker_traceback = worker_traceback
+        detail = (f"sweep point #{index} ({point.fn}) failed: {message}\n"
+                  f"  replay serially with jobs=1: "
+                  f"{point.replay_expression()}")
+        if worker_traceback:
+            detail += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(detail)
+
+    def __reduce__(self):
+        # Exceptions pickle as ``cls(*args)`` by default, which does not
+        # match this constructor; rebuild from the original fields.
+        return (self.__class__, (self.point, self.index, self.message,
+                                 self.worker_traceback))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent task of a sweep.
+
+    Attributes
+    ----------
+    fn:
+        Dotted path ``"package.module:function"`` to a module-level
+        callable.  Resolved by name inside each worker, which is what
+        makes the point spawn-safe.
+    kwargs:
+        Keyword arguments for the call.  Must contain only picklable
+        values (plain scalars, strings, tuples — the audit in
+        ``tests/parallel/test_pickle_roundtrip.py`` covers the richer
+        result types).
+    label:
+        Optional human-readable name used in error messages and cache
+        listings (defaults to ``fn``).
+    """
+
+    fn: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    label: str = ""
+
+    @classmethod
+    def make(cls, fn: str, label: str = "", **kwargs: Any) -> "SweepPoint":
+        """Build a point from keyword arguments (sorted for stable
+        hashing and cache keys)."""
+        return cls(fn=fn, kwargs=tuple(sorted(kwargs.items())), label=label)
+
+    def kwargs_dict(self) -> Dict[str, Any]:
+        """The kwargs as a plain dict (what the function is called with)."""
+        return dict(self.kwargs)
+
+    def replay_expression(self) -> str:
+        """A copy-pasteable serial replay of this point."""
+        module, _, attr = self.fn.partition(":")
+        args = ", ".join(f"{k}={v!r}" for k, v in self.kwargs)
+        return f"python -c \"from {module} import {attr}; {attr}({args})\""
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0``: the usable CPUs,
+    capped (sweeps have few points; more workers only cost start-up)."""
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        usable = os.cpu_count() or 1
+    return max(1, min(usable, _MAX_DEFAULT_JOBS))
+
+
+def _run_serial(point: SweepPoint, index: int) -> Any:
+    """The no-pool path: call the point's function right here.
+
+    Errors are wrapped in :class:`PointError` (chained, so the original
+    traceback is preserved) to keep the failure contract identical
+    between serial and parallel runs.
+    """
+    try:
+        return resolve(point.fn)(**point.kwargs_dict())
+    except PointError:
+        raise
+    except Exception as exc:
+        raise PointError(point, index,
+                         f"{type(exc).__name__}: {exc}") from exc
+
+
+def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
+              cache: Optional[Any] = None) -> List[Any]:
+    """Run every point and return their results in point order.
+
+    Parameters
+    ----------
+    jobs:
+        ``<= 1`` runs in-process with no pool (the exact serial code
+        path); ``> 1`` fans the uncached points across a spawn pool of
+        that many workers.  ``0`` means :func:`default_jobs`.
+    cache:
+        Optional :class:`~repro.parallel.pointcache.PointCache`.  Hits
+        skip execution entirely; misses are executed and stored.
+
+    Raises
+    ------
+    PointError
+        If any point fails.  Points before the failing one (in sweep
+        order) have already produced their values; none are returned.
+    """
+    if jobs == 0:
+        jobs = default_jobs()
+    results: List[Any] = [None] * len(points)
+    pending: List[int] = []
+    for i, point in enumerate(points):
+        if cache is not None:
+            hit, value = cache.get(point)
+            if hit:
+                results[i] = value
+                continue
+        pending.append(i)
+
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            for i in pending:
+                results[i] = _run_serial(points[i], i)
+        else:
+            results_by_index = _run_pool(points, pending, jobs)
+            for i, value in results_by_index.items():
+                results[i] = value
+        if cache is not None:
+            for i in pending:
+                cache.put(points[i], results[i])
+    return results
+
+
+def _run_pool(points: Sequence[SweepPoint], pending: Sequence[int],
+              jobs: int) -> Dict[int, Any]:
+    """Fan the pending points over a spawn pool; see module docstring
+    for the safety contract."""
+    import multiprocessing
+
+    from ..check.flags import checks_enabled
+
+    ctx = multiprocessing.get_context("spawn")
+    payloads = [(points[i].fn, points[i].kwargs) for i in pending]
+    workers = min(jobs, len(pending))
+    with ctx.Pool(workers, initializer=init_worker,
+                  initargs=(checks_enabled(),)) as pool:
+        outcomes = pool.map(execute_point, payloads)
+    results: Dict[int, Any] = {}
+    for i, outcome in zip(pending, outcomes):
+        status = outcome[0]
+        if status == "ok":
+            results[i] = outcome[1]
+        else:
+            _status, exc_type, exc_msg, tb_text = outcome
+            raise PointError(points[i], i, f"{exc_type}: {exc_msg}",
+                             worker_traceback=tb_text)
+    return results

@@ -1,0 +1,64 @@
+"""What runs inside a sweep worker process.
+
+Everything here is module-level and dependency-free on purpose: under
+the ``spawn`` start method a worker is a fresh interpreter that imports
+this module by name, re-applies the parent's check-flag state
+(:func:`init_worker`), then resolves each point's function by its
+dotted path and calls it (:func:`execute_point`).
+
+Exceptions never cross the pool boundary as objects — an exception
+whose arguments do not pickle would otherwise wedge the pool with an
+opaque ``MaybeEncodingError``.  Instead the worker catches everything
+and ships back ``("error", type_name, str(exc), traceback_text)``; the
+parent re-raises a :class:`~repro.parallel.sweep.PointError` that names
+the point for serial replay.
+"""
+
+from __future__ import annotations
+
+import traceback
+from importlib import import_module
+from typing import Any, Tuple
+
+
+def resolve(fn_path: str) -> Any:
+    """Resolve ``"package.module:attr"`` (or ``attr.subattr``) to the
+    callable it names."""
+    module_name, sep, attr_path = fn_path.partition(":")
+    if not sep or not attr_path:
+        raise ValueError(
+            f"point function must be 'module:callable', got {fn_path!r}")
+    target: Any = import_module(module_name)
+    for part in attr_path.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def init_worker(checks_on: bool) -> None:
+    """Pool initializer: propagate the parent's sanitizer flag.
+
+    ``enable_checks`` is process-local state; the ``REPRO_CHECK``
+    environment variable is inherited by spawn, but a programmatic
+    ``override_checks(True)`` scope (e.g. ``--check`` on the CLI) is
+    not — so the parent captures :func:`checks_enabled` at submit time
+    and every worker re-applies it here.
+    """
+    from ..check.flags import enable_checks
+
+    enable_checks(checks_on)
+
+
+def execute_point(payload: Tuple[str, Tuple[Tuple[str, Any], ...]]
+                  ) -> Tuple[Any, ...]:
+    """Run one point; always return a picklable outcome tuple.
+
+    ``("ok", value)`` on success, else
+    ``("error", exc_type_name, message, traceback_text)``.
+    """
+    fn_path, kwargs_items = payload
+    try:
+        value = resolve(fn_path)(**dict(kwargs_items))
+        return ("ok", value)
+    except Exception as exc:  # noqa: BLE001 - shipped back, not hidden
+        return ("error", type(exc).__name__, str(exc),
+                traceback.format_exc())

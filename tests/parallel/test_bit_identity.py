@@ -1,0 +1,49 @@
+"""Bit-identity of parallel sweeps: ``jobs=N`` output == ``jobs=1``.
+
+Every experiment point builds its own kernel and machine, so fan-out
+cannot change any number; these tests pin that contract on real
+experiment rows (scaled far down) and on the chaos campaign's printed
+verdict stream.
+"""
+
+import pytest
+
+from repro.check.chaos import run_campaign
+from repro.experiments import fig10_scalability, fig14_faults, fig15_integrity
+
+pytestmark = pytest.mark.slow
+
+
+def _frozen(result):
+    return (result.headers, result.rows, result.settings, result.notes)
+
+
+def test_fig10_rows_bit_identical():
+    kw = dict(per_rank_mib=0.25, process_counts=(24, 48))
+    assert _frozen(fig10_scalability.run(**kw)) == \
+        _frozen(fig10_scalability.run(**kw, jobs=2))
+
+
+def test_fig14_rows_bit_identical():
+    kw = dict(nprocs=8, per_rank_kib=32, fault_rates=(0.0, 0.2))
+    serial = fig14_faults.run(**kw)
+    parallel = fig14_faults.run(**kw, jobs=2)
+    assert _frozen(serial) == _frozen(parallel)
+    assert all(row[-1] for row in serial.rows)  # result_ok everywhere
+
+
+def test_fig15_rows_bit_identical():
+    kw = dict(nprocs=8, per_rank_kib=16, corrupt_rates=(0.0, 0.05))
+    serial = fig15_integrity.run(**kw)
+    parallel = fig15_integrity.run(**kw, jobs=2)
+    assert _frozen(serial) == _frozen(parallel)
+    assert all(row[-1] for row in serial.rows)
+
+
+def test_chaos_campaign_output_bit_identical(capsys):
+    assert run_campaign(8, base_seed=0) == 0
+    serial_out = capsys.readouterr().out
+    assert run_campaign(8, base_seed=0, jobs=2) == 0
+    parallel_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+    assert "all clean" in serial_out

@@ -1,0 +1,80 @@
+"""Tests for the persistent on-disk point cache."""
+
+import pickle
+
+from repro.check.flags import override_checks
+from repro.parallel import PointCache, SweepPoint, code_digest, run_sweep
+from tests.parallel import pointfuncs
+
+FNS = "tests.parallel.pointfuncs"
+
+
+def _cache(tmp_path):
+    return PointCache(root=tmp_path / "pointcache")
+
+
+def test_miss_then_hit(tmp_path):
+    cache = _cache(tmp_path)
+    points = [SweepPoint.make(f"{FNS}:square", x=x) for x in (2, 3)]
+    assert run_sweep(points, cache=cache) == [4, 9]
+    assert (cache.hits, cache.misses) == (0, 2)
+    assert cache.entry_count() == 2
+    assert run_sweep(points, cache=cache) == [4, 9]
+    assert (cache.hits, cache.misses) == (2, 2)
+
+
+def test_hit_skips_execution(tmp_path):
+    cache = _cache(tmp_path)
+    point = [SweepPoint.make(f"{FNS}:record_square", x=5)]
+    pointfuncs.CALLS.clear()
+    assert run_sweep(point, cache=cache) == [25]
+    assert run_sweep(point, cache=cache) == [25]
+    assert pointfuncs.CALLS == [5]  # second sweep never called the fn
+
+
+def test_key_differs_by_kwargs_not_container_type(tmp_path):
+    cache = _cache(tmp_path)
+    a = SweepPoint.make(f"{FNS}:square", x=(1, 2))
+    b = SweepPoint.make(f"{FNS}:square", x=[1, 2])
+    c = SweepPoint.make(f"{FNS}:square", x=(1, 3))
+    # CLI round-trips turn tuples into lists; the key must not care.
+    assert cache.key(a) == cache.key(b)
+    assert cache.key(a) != cache.key(c)
+
+
+def test_key_includes_check_flag(tmp_path):
+    cache = _cache(tmp_path)
+    point = SweepPoint.make(f"{FNS}:square", x=1)
+    with override_checks(True):
+        checked = cache.key(point)
+    with override_checks(False):
+        unchecked = cache.key(point)
+    assert checked != unchecked
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = _cache(tmp_path)
+    point = [SweepPoint.make(f"{FNS}:square", x=7)]
+    run_sweep(point, cache=cache)
+    [entry] = list(cache.root.rglob("*.pkl"))
+    entry.write_bytes(b"not a pickle")
+    assert run_sweep(point, cache=cache) == [49]  # recomputed, rewritten
+    with (list(cache.root.rglob("*.pkl"))[0]).open("rb") as fh:
+        assert pickle.load(fh)["value"] == 49
+
+
+def test_clear_and_entry_count(tmp_path):
+    cache = _cache(tmp_path)
+    points = [SweepPoint.make(f"{FNS}:square", x=x) for x in range(3)]
+    run_sweep(points, cache=cache)
+    assert cache.entry_count() == 3
+    assert cache.clear() == 3
+    assert cache.entry_count() == 0
+    assert cache.clear() == 0  # idempotent on an empty cache
+
+
+def test_code_digest_is_stable_hex():
+    d = code_digest()
+    assert d == code_digest()
+    assert len(d) == 64
+    int(d, 16)  # valid hex
