@@ -18,9 +18,18 @@ as good as its invariants, so this layer checks them mechanically:
    the fault-recovery accounting of :mod:`repro.faults.resilient`:
    every expected window is served exactly once (by an aggregator or
    the degraded tail), never dropped or double-counted.
+5. **Race detector + schedule shaker** (:mod:`repro.check.races`,
+   :mod:`repro.check.shake`) — a vector-clock happens-before tracker
+   threaded through the sim kernel and MPI layer (wildcard-recv
+   message races, unordered shared-state access, race-dependent
+   non-commutative reductions), paired with seeded tie-break
+   perturbation of the event queue that re-runs a scenario battery
+   under ``K`` different schedules and asserts bit-identical data.
 
 The runtime sanitizers hang off the ``REPRO_CHECK`` environment flag
-(:mod:`repro.check.flags`); the test suite enables them globally.
+(:mod:`repro.check.flags`); the test suite enables them globally.  The
+race tracker has its own ``REPRO_RACES`` flag (vector clocks cost real
+memory on large runs) and the shaker its ``REPRO_SHAKE`` seed.
 
 ``protocol`` and ``plan`` are exported lazily: they import the layers
 they verify, and those layers import :mod:`repro.check.flags` — eager
@@ -30,21 +39,30 @@ re-export here would make that a cycle.
 from __future__ import annotations
 
 from .faults import check_recovery_coverage
-from .flags import checks_enabled, enable_checks, override_checks
+from .flags import (checks_enabled, enable_checks, enable_races,
+                    override_checks, override_races, override_shake,
+                    races_enabled, set_shake_seed, shake_seed)
 from .lint import (ALL_RULES, DEFAULT_CONFIG, Finding, LintConfig,
                    lint_file, lint_paths, lint_source)
+from .races import (RaceFinding, assert_no_races, current_findings,
+                    drain_findings)
 
 __all__ = [
     "checks_enabled", "enable_checks", "override_checks",
+    "races_enabled", "enable_races", "override_races",
+    "shake_seed", "set_shake_seed", "override_shake",
     "ALL_RULES", "DEFAULT_CONFIG", "Finding", "LintConfig",
     "lint_file", "lint_paths", "lint_source",
+    "RaceFinding", "assert_no_races", "current_findings",
+    "drain_findings",
     "check_recovery_coverage",
     "CollectiveLedger", "payload_signature",
     "check_plan", "check_plan_deep", "check_shuffle_accounting",
     "check_translation", "check_window_consistency",
+    "run_battery", "shake_seeds",
 ]
 
-_LAZY = {
+_LAZY = {  # repro: allow[pool-global] — static lazy-export map, assigned once
     "CollectiveLedger": ("protocol", "CollectiveLedger"),
     "payload_signature": ("protocol", "payload_signature"),
     "check_plan": ("plan", "check_plan"),
@@ -52,6 +70,8 @@ _LAZY = {
     "check_shuffle_accounting": ("plan", "check_shuffle_accounting"),
     "check_translation": ("plan", "check_translation"),
     "check_window_consistency": ("plan", "check_window_consistency"),
+    "run_battery": ("shake", "run_battery"),
+    "shake_seeds": ("shake", "shake_seeds"),
 }
 
 

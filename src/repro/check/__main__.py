@@ -13,12 +13,19 @@ Two stages, both on by default:
    one) — so the protocol verifier, the plan sanitizers, and the
    recovery-coverage check run against real schedules.
 
-A third, opt-in stage replaces both: ``--chaos [N]`` runs the
-end-to-end data-integrity campaign of :mod:`repro.check.chaos` — ``N``
-seeded jobs sweeping corruption rates and scenarios, asserting
-bit-identical results, strict inject/detect matching, and a consistent
-fault ledger.  Failures name the offending ``seed=... scenario=...``
-so any job replays exactly.
+Two opt-in stages each replace both:
+
+* ``--chaos [N]`` runs the end-to-end data-integrity campaign of
+  :mod:`repro.check.chaos` — ``N`` seeded jobs sweeping corruption
+  rates and scenarios, asserting bit-identical results, strict
+  inject/detect matching, and a consistent fault ledger.  Failures
+  name the offending ``seed=... scenario=...`` so any job replays
+  exactly.
+* ``--races`` runs the static lint and then the race/schedule battery
+  of :mod:`repro.check.shake`: every scenario executes under the
+  vector-clock race tracker (``REPRO_RACES``) and is re-run under
+  ``--shake K`` perturbed event schedules, asserting zero race
+  findings and bit-identical data results across schedules.
 
 Exit status: 0 clean, 1 findings/sanitizer/campaign failure, 2 usage
 error.
@@ -30,6 +37,7 @@ Usage::
     python -m repro.check --static-only --require-docstrings src/repro
     python -m repro.check --chaos 25                # integrity campaign
     python -m repro.check --chaos 8 --chaos-seed 100
+    python -m repro.check --races --shake 4         # race + shake battery
     python -m repro.check --list-rules
 """
 
@@ -249,6 +257,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         metavar="SEED",
                         help="base seed for the chaos campaign "
                              "(job i uses SEED + i; default 0)")
+    parser.add_argument("--races", action="store_true",
+                        help="run the static lint plus the race/schedule "
+                             "battery: every scenario under the "
+                             "vector-clock race tracker, re-run under "
+                             "--shake K perturbed schedules")
+    parser.add_argument("--shake", type=int, default=4, metavar="K",
+                        help="number of perturbed event schedules per "
+                             "scenario for --races (default 4)")
+    parser.add_argument("--shake-seed", type=int, default=0,
+                        metavar="SEED",
+                        help="base seed for the schedule perturbations "
+                             "(default 0)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="fan the chaos campaign out over N worker "
                              "processes (0 = one per core); output is "
@@ -261,15 +281,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in sorted(lint.ALL_RULES):
             if rule in lint.ORDERING_RULES:
                 scope = "event-ordering packages"
+            elif rule in lint.POOL_RULES:
+                scope = "pool packages"
             elif rule in lint.OPT_IN_RULES:
                 scope = "opt-in (--require-docstrings)"
             else:
                 scope = "all packages"
-            print(f"{rule:18s} {scope}")
+            waiver = lint.WAIVER_SYNTAX.format(rule=rule)
+            print(f"{rule:18s} {scope:32s} waive with: {waiver}")
         return 0
     if args.static_only and args.smoke_only:
         print("--static-only and --smoke-only are mutually exclusive",
               file=sys.stderr)
+        return 2
+    if args.chaos is not None and args.races:
+        print("--chaos and --races are mutually exclusive", file=sys.stderr)
         return 2
     if args.chaos is not None:
         if args.static_only or args.smoke_only:
@@ -283,6 +309,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .chaos import run_campaign
         return run_campaign(args.chaos, base_seed=args.chaos_seed,
                             quiet=args.quiet, jobs=args.jobs)
+    if args.races:
+        if args.static_only or args.smoke_only:
+            print("--races cannot be combined with --static-only or "
+                  "--smoke-only", file=sys.stderr)
+            return 2
+        if args.shake < 0:
+            print(f"--shake needs a non-negative schedule count, "
+                  f"got {args.shake}", file=sys.stderr)
+            return 2
+        paths = list(args.paths) or _default_paths()
+        status = _run_static(paths, args.quiet, args.require_docstrings)
+        from .shake import run_battery
+        return max(status, run_battery(args.shake, quiet=args.quiet,
+                                       base_seed=args.shake_seed))
 
     status = 0
     if not args.smoke_only:

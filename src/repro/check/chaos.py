@@ -169,7 +169,7 @@ def _assert_contract(reference: list, results: list, inj, integ) -> None:
 #: Serial campaigns fill it once; each pool worker fills its own copy
 #: lazily (at most once per scenario per worker process).  References
 #: never cross the process boundary — only the per-job verdict does.
-_REFERENCES: Dict[str, list] = {}
+_REFERENCES: Dict[str, list] = {}  # repro: allow[pool-global] — memo by design: each worker fills its own copy; only verdicts cross the pool
 
 
 def run_point(index: int, base_seed: int) -> Tuple[str, object, int, int]:

@@ -1,4 +1,4 @@
-"""The ``REPRO_CHECK`` switch for the runtime sanitizers.
+"""The ``REPRO_CHECK`` / ``REPRO_RACES`` / ``REPRO_SHAKE`` switches.
 
 The collective-protocol verifier (:mod:`repro.check.protocol`) and the
 plan sanitizers (:mod:`repro.check.plan`) are strictly opt-in on the
@@ -12,9 +12,22 @@ unset — disables) and can be flipped programmatically afterwards with
 suite turns it on globally in ``tests/conftest.py``; benchmarks and the
 CI regression gate run with it off.
 
+Two further, independent switches live here for the same reason:
+
+* ``REPRO_RACES`` — the happens-before race tracker
+  (:mod:`repro.check.races`).  Kept separate from ``REPRO_CHECK``
+  because vector-clock bookkeeping is markedly more expensive than the
+  protocol ledger; the test suite runs with checks on but races off,
+  and race-specific tests (or ``--races`` on the CLIs) opt in.
+* ``REPRO_SHAKE`` — the schedule shaker's tie-break seed.  ``None``
+  (unset) means the kernel's documented FIFO tie-break; an integer
+  seed makes every :class:`~repro.sim.kernel.Kernel` constructed in
+  its scope permute same-``(time, priority)`` entries with a seeded
+  bijection (see ``Kernel.schedule``).
+
 This module deliberately imports nothing from the rest of the library
 so that any layer (``sim``, ``mpi``, ``io``, ``core``) may consult the
-flag without creating an import cycle.
+flags without creating an import cycle.
 """
 
 from __future__ import annotations
@@ -66,3 +79,85 @@ def override_checks(on: Optional[bool]) -> Iterator[None]:
         yield
     finally:
         enable_checks(previous)
+
+
+# -- race tracking (REPRO_RACES) ----------------------------------------
+
+#: Environment variable that enables the happens-before race tracker.
+RACES_ENV_VAR = "REPRO_RACES"
+
+_RACES_ENABLED = os.environ.get(RACES_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def races_enabled() -> bool:
+    """Whether the happens-before race tracker is currently on."""
+    return _RACES_ENABLED
+
+
+def enable_races(on: bool = True) -> None:
+    """Turn the race tracker on or off for this process.
+
+    Like :func:`enable_checks`, the tracker is bound at construction
+    time: a :class:`~repro.sim.kernel.Kernel` (and the communicators on
+    it) created while the flag is on carries the tracker for its whole
+    life; flipping the flag later does not retrofit existing kernels.
+    """
+    global _RACES_ENABLED
+    _RACES_ENABLED = bool(on)
+
+
+@contextmanager
+def override_races(on: Optional[bool]) -> Iterator[None]:
+    """Scoped :func:`enable_races`; ``None`` leaves the flag untouched."""
+    if on is None:
+        yield
+        return
+    previous = _RACES_ENABLED
+    enable_races(on)
+    try:
+        yield
+    finally:
+        enable_races(previous)
+
+
+# -- schedule shaking (REPRO_SHAKE) -------------------------------------
+
+#: Environment variable holding the schedule shaker's tie-break seed.
+SHAKE_ENV_VAR = "REPRO_SHAKE"
+
+
+def _env_shake() -> Optional[int]:
+    raw = os.environ.get(SHAKE_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+_SHAKE_SEED = _env_shake()
+
+
+def shake_seed() -> Optional[int]:
+    """The current schedule-shaker seed (``None`` = plain FIFO)."""
+    return _SHAKE_SEED
+
+
+def set_shake_seed(seed: Optional[int]) -> None:
+    """Set the tie-break perturbation seed for kernels constructed from
+    now on (``None`` restores the documented FIFO tie-break)."""
+    global _SHAKE_SEED
+    _SHAKE_SEED = None if seed is None else int(seed)
+
+
+@contextmanager
+def override_shake(seed: Optional[int]) -> Iterator[None]:
+    """Scoped :func:`set_shake_seed` (note: unlike the boolean
+    overrides, ``None`` here *is* a value — it means unshaken FIFO)."""
+    previous = _SHAKE_SEED
+    set_shake_seed(seed)
+    try:
+        yield
+    finally:
+        set_shake_seed(previous)

@@ -21,6 +21,25 @@ module enforces them statically:
     No iteration over ``os.listdir``/``os.scandir``/``glob.glob``/
     ``Path.iterdir`` results without ``sorted(...)`` — directory order
     is file-system dependent.
+``sched-iteration``
+    No ``for``/comprehension iteration directly over
+    ``.union(...)``/``.intersection(...)``/``.difference(...)``/
+    ``.symmetric_difference(...)`` results — set algebra yields hash
+    order, which silently feeds event scheduling.  Wrap in
+    ``sorted(...)``.
+``pool-global``
+    (Pool packages only — :attr:`LintConfig.pool_packages`.)  No
+    module-level mutable container assignments: each sweep worker
+    forks/spawns with its *own copy*, so mutations made in a worker
+    never reach the parent (or other workers) — state that looks
+    shared silently is not.  Pass state through
+    :class:`~repro.parallel.sweep.SweepPoint` kwargs and return values
+    instead, or waive with a justifying comment.
+``spawn-closure``
+    No ``lambda`` or ``functools.partial`` arguments to
+    ``SweepPoint.make``/``SweepPoint``/``run_sweep`` (any package):
+    closures don't survive the spawn pickle boundary — targets must be
+    importable ``module:attr`` strings and plain-data kwargs.
 ``mutable-default``
     No mutable default arguments (any package).
 ``bare-except``
@@ -48,13 +67,21 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 #: Rules enforced only on event-ordering packages.
 ORDERING_RULES = frozenset({
     "wallclock", "unseeded-rng", "set-iteration", "listdir-order",
+    "sched-iteration",
 })
 #: Rules enforced everywhere.
-UNIVERSAL_RULES = frozenset({"mutable-default", "bare-except"})
+UNIVERSAL_RULES = frozenset({"mutable-default", "bare-except",
+                             "spawn-closure"})
+#: Rules enforced only on packages whose code runs inside worker pools.
+POOL_RULES = frozenset({"pool-global"})
 #: Opt-in rules (off unless the config asks for them).
 OPT_IN_RULES = frozenset({"module-docstring"})
 #: Every rule id this lint knows.
-ALL_RULES = ORDERING_RULES | UNIVERSAL_RULES | OPT_IN_RULES
+ALL_RULES = ORDERING_RULES | UNIVERSAL_RULES | POOL_RULES | OPT_IN_RULES
+
+#: One-line waiver syntax per rule, shown by ``--list-rules`` so the
+#: escape hatch is discoverable next to the rule it waives.
+WAIVER_SYNTAX = "# repro: allow[{rule}]"
 
 #: ``time``/``datetime`` attributes that read the wall clock.
 _WALLCLOCK_ATTRS = frozenset({
@@ -66,6 +93,17 @@ _WALLCLOCK_MODULES = frozenset({"time", "datetime"})
 
 #: Directory-order producers (attribute or bare-name call targets).
 _LISTDIR_FUNCS = frozenset({"listdir", "scandir", "iterdir", "glob", "rglob"})
+
+#: Set-algebra methods whose results iterate in hash order.
+_SET_ALGEBRA = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+#: Mutable-container constructors for the ``pool-global`` rule.
+_MUTABLE_CTORS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "Counter", "OrderedDict",
+})
 
 _WAIVER_RE = re.compile(r"#\s*repro:\s*allow\[([a-z\-,\s]+)\]")
 
@@ -99,21 +137,33 @@ class LintConfig:
         "repro.sim", "repro.mpi", "repro.io", "repro.pfs",
         "repro.core", "repro.cluster", "repro.dataspace",
         "repro.experiments", "repro.workloads", "repro.highlevel",
-        "repro.faults",
+        "repro.faults", "repro.parallel",
     )
+    #: Packages whose module state is copied into pool workers (sweep
+    #: engine plus the check battery it drives) — get ``pool-global``.
+    pool_packages: Tuple[str, ...] = ("repro.parallel", "repro.check")
     universal_rules: FrozenSet[str] = UNIVERSAL_RULES
     ordering_rules: FrozenSet[str] = ORDERING_RULES
+    pool_rules: FrozenSet[str] = POOL_RULES
     #: Enable the ``module-docstring`` rule (used by CI's API-reference
     #: job so every published module carries documentation).
     require_docstrings: bool = False
 
+    @staticmethod
+    def _matches(module: str, prefixes: Tuple[str, ...]) -> bool:
+        return any(module == p or module.startswith(p + ".")
+                   for p in prefixes)
+
     def rules_for(self, module: str) -> FrozenSet[str]:
         """The enabled rule set for one dotted module name."""
-        extra = OPT_IN_RULES if self.require_docstrings else frozenset()
-        for prefix in self.ordered_packages:
-            if module == prefix or module.startswith(prefix + "."):
-                return self.universal_rules | self.ordering_rules | extra
-        return self.universal_rules | extra
+        rules = self.universal_rules
+        if self.require_docstrings:
+            rules = rules | OPT_IN_RULES
+        if self._matches(module, self.ordered_packages):
+            rules = rules | self.ordering_rules
+        if self._matches(module, self.pool_packages):
+            rules = rules | self.pool_rules
+        return rules
 
 
 DEFAULT_CONFIG = LintConfig()
@@ -245,7 +295,40 @@ class _Visitor(ast.NodeVisitor):
         if name == "default_rng" and not node.args and not node.keywords:
             self._report(node, "unseeded-rng",
                          "default_rng() without an explicit seed")
+        self._check_spawn_closure(node)
         self.generic_visit(node)
+
+    def _check_spawn_closure(self, node: ast.Call) -> None:
+        """``spawn-closure``: lambdas/partials handed to the sweep
+        engine never survive the pool's pickle boundary."""
+        dotted = self._dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        is_spawn_target = (
+            parts[-1] in ("SweepPoint", "run_sweep")
+            or parts[-2:] == ["SweepPoint", "make"])
+        if not is_spawn_target:
+            return
+        display = ".".join(parts[-2:]) if parts[-2:] == \
+            ["SweepPoint", "make"] else parts[-1]
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        for value in values:
+            if isinstance(value, ast.Lambda):
+                self._report(
+                    value, "spawn-closure",
+                    f"lambda passed to {display}(...) cannot cross the "
+                    f"worker-pool pickle boundary; use an importable "
+                    f"'module:attr' target and plain-data kwargs")
+            elif isinstance(value, ast.Call):
+                inner = self._dotted(value.func)
+                if inner in ("partial", "functools.partial"):
+                    self._report(
+                        value, "spawn-closure",
+                        f"functools.partial passed to {display}(...) "
+                        f"cannot cross the worker-pool pickle boundary; "
+                        f"use an importable 'module:attr' target and "
+                        f"plain-data kwargs")
 
     # -- iteration order --------------------------------------------------
     def _check_iter(self, iter_node: ast.AST) -> None:
@@ -259,6 +342,13 @@ class _Visitor(ast.NodeVisitor):
             self._report(iter_node, "set-iteration",
                          f"iteration over {iter_node.func.id}(...) "
                          f"(hash order); wrap in sorted(...)")
+        elif isinstance(iter_node, ast.Call) and \
+                isinstance(iter_node.func, ast.Attribute) and \
+                iter_node.func.attr in _SET_ALGEBRA:
+            self._report(iter_node, "sched-iteration",
+                         f"iteration over .{iter_node.func.attr}(...) "
+                         f"(set algebra yields hash order, which can "
+                         f"feed event scheduling); wrap in sorted(...)")
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iter(node.iter)
@@ -266,6 +356,52 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_comprehension(self, node: ast.comprehension) -> None:
         self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    # -- pool packages -----------------------------------------------------
+    @staticmethod
+    def _is_mutable_container(value: ast.AST) -> Optional[str]:
+        """Short description of a mutable-container initializer, else
+        None (only literals and well-known constructors; an arbitrary
+        call could return anything)."""
+        if isinstance(value, ast.List):
+            return "list"
+        if isinstance(value, ast.Dict):
+            return "dict"
+        if isinstance(value, ast.Set):
+            return "set"
+        if isinstance(value, ast.Call):
+            dotted = _Visitor._dotted(value.func)
+            if dotted is not None and dotted.split(".")[-1] in \
+                    _MUTABLE_CTORS:
+                return dotted.split(".")[-1]
+        return None
+
+    def visit_Module(self, node: ast.Module) -> None:
+        # ``pool-global`` looks only at module-level statements:
+        # function/class bodies re-execute per call, so their mutables
+        # are not worker-duplicated state.
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                value, target = stmt.value, stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign):
+                value, target = stmt.value, stmt.target
+            else:
+                continue
+            if value is None:
+                continue
+            kind = self._is_mutable_container(value)
+            if kind is None:
+                continue
+            name = target.id if isinstance(target, ast.Name) else "?"
+            if name.startswith("__") and name.endswith("__"):
+                continue  # __all__ and friends: assigned-once metadata
+            self._report(
+                stmt, "pool-global",
+                f"module-level mutable {kind} {name!r}: sweep workers "
+                f"fork/spawn with their own copy, so mutations never "
+                f"reach the parent; pass state through SweepPoint "
+                f"kwargs/returns, or waive with a justifying comment")
         self.generic_visit(node)
 
     # -- universal rules ---------------------------------------------------

@@ -76,5 +76,13 @@ class CollectiveComputingError(ReproError):
     inconsistent ObjectIO across ranks, reduction shape mismatch)."""
 
 
+class RaceError(ReproError):
+    """Raised by the happens-before race detector
+    (:mod:`repro.check.races`) when a run left race findings behind:
+    wildcard-receive message races, unordered accesses to shared
+    simulated state, or non-commutative reduction steps whose operand
+    order depended on a message race."""
+
+
 class ConfigError(ReproError):
     """Raised for invalid platform / cost-model configuration values."""

@@ -35,6 +35,10 @@ def main(argv=None) -> int:
                         help="run under the repro.check runtime sanitizers "
                              "(collective protocol + plan invariants); "
                              "slower, results identical")
+    parser.add_argument("--races", action="store_true",
+                        help="run under the vector-clock race tracker "
+                             "(repro.check.races); fails if any race "
+                             "finding is recorded")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="fan independent sweep points out over N "
                              "worker processes (0 = one per core); "
@@ -67,8 +71,9 @@ def main(argv=None) -> int:
     for name in targets:
         t0 = time.time()  # repro: allow[wallclock] — host-side progress report
         if cache is not None:
-            cache.hits = cache.misses = 0
+            cache.hits = cache.misses = cache.evictions = 0
         result = registry.run(name, check=True if args.check else None,
+                              races=True if args.races else None,
                               quick=args.quick, jobs=args.jobs, cache=cache)
         if args.csv:
             print(result.to_csv())
@@ -78,8 +83,8 @@ def main(argv=None) -> int:
             (outdir / f"{name}.txt").write_text(
                 result.render(plot=True) + "\n")
             (outdir / f"{name}.csv").write_text(result.to_csv() + "\n")
-        cache_note = (f", point cache {cache.hits} hit / "
-                      f"{cache.misses} miss" if cache is not None else "")
+        cache_note = (f", point cache {cache.stats()}"
+                      if cache is not None else "")
         print(f"\n[{name} regenerated in {time.time() - t0:.1f}s "  # repro: allow[wallclock]
               f"wall{cache_note}]\n")
     return 0

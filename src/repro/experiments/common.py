@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tup
 
 import numpy as np
 
-from ..check.flags import override_checks
+from ..check.flags import override_checks, override_races
 from ..cluster import Machine
 from ..config import CostModel, MiB, PlatformSpec
 from ..core import CCStats, MapReduceOp, ObjectIO, object_get
@@ -44,20 +44,29 @@ DEFAULT_HINTS = CollectiveHints(cb_buffer_size=4 * MiB,
 
 
 def with_sanitizers(run_fn: Callable) -> Callable:
-    """Give an experiment entry point a ``check`` keyword argument.
+    """Give an experiment entry point ``check``/``races`` keyword args.
 
     ``check=True`` runs the whole experiment under the runtime
     sanitizers (collective-protocol verifier + plan invariants, see
     :mod:`repro.check`), ``check=False`` forces them off, and the
     default ``None`` leaves the process-wide ``REPRO_CHECK`` setting
-    untouched.  Every ``figNN_*.run`` is wrapped with this, so
-    ``python -m repro.experiments <id> --check`` can validate a figure's
-    entire schedule without touching the figure code.
+    untouched.  ``races`` does the same for the vector-clock race
+    tracker (``REPRO_RACES``); when truthy, any race finding recorded
+    during the run raises :class:`~repro.errors.RaceError` at the end.
+    Every ``figNN_*.run`` is wrapped with this, so
+    ``python -m repro.experiments <id> --check``/``--races`` can
+    validate a figure's entire schedule without touching the figure
+    code.
     """
     @functools.wraps(run_fn)
-    def wrapper(*args: Any, check: Optional[bool] = None, **kwargs: Any):
-        with override_checks(check):
-            return run_fn(*args, **kwargs)
+    def wrapper(*args: Any, check: Optional[bool] = None,
+                races: Optional[bool] = None, **kwargs: Any):
+        with override_checks(check), override_races(races):
+            result = run_fn(*args, **kwargs)
+            if races:
+                from ..check.races import assert_no_races
+                assert_no_races()
+            return result
     return wrapper
 
 

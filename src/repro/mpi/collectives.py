@@ -49,6 +49,7 @@ def barrier(comm: CommHandle) -> Generator:
         yield from comm.recv(src, base_tag + k)
         yield req.event
         mask <<= 1
+    comm.trace_collective_exit("barrier")
     return None
 
 
@@ -59,6 +60,7 @@ def bcast(comm: CommHandle, data: Any, root: int = 0) -> Generator:
     comm.comm.check_rank(root)
     tag = comm.next_collective_tags(1)
     if size == 1:
+        comm.trace_collective_exit("bcast")
         return data
     relative = (rank - root) % size
     mask = 1
@@ -77,6 +79,7 @@ def bcast(comm: CommHandle, data: Any, root: int = 0) -> Generator:
         mask >>= 1
     for req in pending:
         yield req.event
+    comm.trace_collective_exit("bcast")
     return data
 
 
@@ -93,6 +96,7 @@ def reduce(comm: CommHandle, value: Any, op: Op, root: int = 0) -> Generator:
     comm.comm.check_rank(root)
     tag = comm.next_collective_tags(1)
     if size == 1:
+        comm.trace_collective_exit("reduce")
         return value
     relative = (rank - root) % size
     mask = 1
@@ -104,12 +108,14 @@ def reduce(comm: CommHandle, value: Any, op: Op, root: int = 0) -> Generator:
                 other = yield from comm.recv(src, tag)
                 # The partner has a higher relative rank: it goes right.
                 value = op(value, other)
+                comm.note_reduce_step(op, src)
         else:
             dest = ((relative & ~mask) + root) % size
             yield from comm.send(value, dest, tag)
             value = None
             break
         mask <<= 1
+    comm.trace_collective_exit("reduce")
     return value if rank == root else None
 
 
@@ -118,6 +124,7 @@ def allreduce(comm: CommHandle, value: Any, op: Op) -> Generator:
     comm.trace_collective("allreduce", value)
     reduced = yield from reduce(comm, value, op, root=0)
     result = yield from bcast(comm, reduced, root=0)
+    comm.trace_collective_exit("allreduce")
     return result
 
 
@@ -135,8 +142,10 @@ def gather(comm: CommHandle, value: Any, root: int = 0) -> Generator:
             if src == root:
                 continue
             out[src] = yield from comm.recv(src, tag)
+        comm.trace_collective_exit("gather")
         return out
     yield from comm.send(value, root, tag)
+    comm.trace_collective_exit("gather")
     return None
 
 
@@ -159,8 +168,10 @@ def scatter(comm: CommHandle, values: Optional[Sequence[Any]],
             pending.append(comm.isend(values[dest], dest, tag))
         for req in pending:
             yield req.event
+        comm.trace_collective_exit("scatter")
         return values[root]
     data = yield from comm.recv(root, tag)
+    comm.trace_collective_exit("scatter")
     return data
 
 
@@ -198,6 +209,7 @@ def allgather(comm: CommHandle, value: Any) -> Generator:
                 payload_bytes += 8 + wire_size(v)
         step <<= 1
         k += 1
+    comm.trace_collective_exit("allgather")
     return [collected[i] for i in range(size)]
 
 
@@ -212,6 +224,7 @@ def allgather_ring(comm: CommHandle, value: Any) -> Generator:
     out: List[Any] = [None] * size
     out[rank] = value
     if size == 1:
+        comm.trace_collective_exit("allgather_ring")
         return out
     right = (rank + 1) % size
     left = (rank - 1) % size
@@ -223,6 +236,7 @@ def allgather_ring(comm: CommHandle, value: Any) -> Generator:
         yield req.event
         out[src_owner] = received
         carry, carry_owner = received, src_owner
+    comm.trace_collective_exit("allgather_ring")
     return out
 
 
@@ -250,10 +264,12 @@ def scan(comm: CommHandle, value: Any, op: Op) -> Generator:
             # Everything arriving comes from strictly lower ranks.
             result = op(incoming, result)
             carry = op(incoming, carry)
+            comm.note_reduce_step(op, rank - step)
         for req in reqs:
             yield req.event
         step <<= 1
         k += 1
+    comm.trace_collective_exit("scan")
     return result
 
 
@@ -276,10 +292,12 @@ def exscan(comm: CommHandle, value: Any, op: Op) -> Generator:
             incoming = yield from comm.recv(rank - step, base_tag + k)
             below = incoming if below is None else op(incoming, below)
             carry = op(incoming, carry)
+            comm.note_reduce_step(op, rank - step)
         for req in reqs:
             yield req.event
         step <<= 1
         k += 1
+    comm.trace_collective_exit("exscan")
     return below
 
 
@@ -303,6 +321,7 @@ def reduce_scatter_block(comm: CommHandle, values: Sequence[Any],
         root=0,
     )
     mine = yield from scatter(comm, combined, root=0)
+    comm.trace_collective_exit("reduce_scatter_block")
     return mine
 
 
@@ -325,4 +344,5 @@ def alltoall(comm: CommHandle, values: Sequence[Any]) -> Generator:
         req = comm.isend(values[dest], dest, tag)
         out[src] = yield from comm.recv(src, tag)
         yield req.event
+    comm.trace_collective_exit("alltoall")
     return out

@@ -192,6 +192,16 @@ class Communicator:
         if checks_enabled():
             from ..check.protocol import CollectiveLedger
             self.sanitizer = CollectiveLedger(self.id, nprocs)
+        #: Message-race tracker (:mod:`repro.check.races`), attached
+        #: whenever the kernel carries the happens-before tracker —
+        #: one source of truth, so a communicator is race-tracked iff
+        #: its kernel is.  Detached (the default), each send/match
+        #: site pays one is-None test.
+        self.races = None
+        if kernel._tracker is not None:
+            from ..check.races import CommRaceTracker
+            self.races = CommRaceTracker(kernel._tracker, self.id,
+                                         nprocs, ANY_SOURCE, ANY_TAG)
         # Deadlock reports always include this communicator's pending
         # receives (zero cost until a deadlock is being diagnosed).
         kernel.watch_deadlocks(self)
@@ -235,6 +245,8 @@ class Communicator:
         for i, pr in enumerate(posted):
             if self._matches(pr.source, pr.tag, msg):
                 del posted[i]
+                if self.races is not None:
+                    self.races.note_match(msg, pr.source, pr.tag)
                 pr.event.succeed(msg)
                 return
         self._unexpected[msg.dest].append(msg)
@@ -245,6 +257,8 @@ class Communicator:
         for i, msg in enumerate(queue):
             if self._matches(source, tag, msg):
                 del queue[i]
+                if self.races is not None:
+                    self.races.note_match(msg, source, tag)
                 return msg
         return None
 
@@ -257,6 +271,8 @@ class Communicator:
         faults = self.machine.faults
         if faults is not None:
             dropped, delay = faults.message_decision(msg)
+            if dropped and self.races is not None:
+                self.races.note_drop(msg)
             if delay > 0:
                 yield self.kernel.timeout(delay)
             if not dropped and faults.plan.corrupt_msg_rate:
@@ -334,6 +350,9 @@ class CommHandle:
             raise MPIError(f"negative tag {tag}")
         size = wire_size(data) if nbytes is None else int(nbytes)
         msg = Message(self.rank, dest, tag, data, size)
+        races = self.comm.races
+        if races is not None:
+            races.note_send(msg)
         self.comm.messages_sent += 1
         self.comm.bytes_sent += size
         pair = (self.rank, dest)
@@ -418,6 +437,29 @@ class CommHandle:
         sanitizer = self.comm.sanitizer
         if sanitizer is not None:
             sanitizer.record(self.rank, op, payload)
+        races = self.comm.races
+        if races is not None:
+            races.note_collective(self.rank, op)
+
+    def trace_collective_exit(self, op: str) -> None:
+        """Report that this rank returned from collective ``op``.
+
+        The race tracker uses entry/exit to attribute findings to the
+        collective they occurred in; the happens-before edges of a
+        collective are those of its constituent point-to-point
+        messages, recorded through the event graph.
+        """
+        races = self.comm.races
+        if races is not None:
+            races.note_collective_exit(self.rank, op)
+
+    def note_reduce_step(self, op: Any, src: int) -> None:
+        """Report one reduction combine step (this rank folded in a
+        value received from ``src``) to the race tracker, which flags
+        non-commutative operand orders downstream of a message race."""
+        races = self.comm.races
+        if races is not None:
+            races.note_reduce_step(op, self.rank, src)
 
     def next_collective_tags(self, n_tags: int = 1) -> int:
         """Reserve ``n_tags`` consecutive internal tags for one collective

@@ -16,6 +16,13 @@ of ``{"fn", "kwargs", "value"}``.  Unreadable or truncated entries are
 treated as misses and rewritten; the cache is safe to delete wholesale
 at any time (``python -m repro.experiments --clear-cache`` does
 exactly that).
+
+The cache is bounded: ``max_entries`` (default
+:data:`DEFAULT_MAX_ENTRIES`) caps the number of on-disk results, and a
+``put`` that would exceed it first evicts the oldest entries by
+modification time (ties broken by path, so eviction order is
+deterministic on identical trees).  ``stats()`` renders the
+hit/miss/eviction counters for CLI cache reports.
 """
 
 from __future__ import annotations
@@ -32,6 +39,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Default location, relative to the working directory (the repo root
 #: in every documented invocation).
 DEFAULT_ROOT = Path("results") / ".pointcache"
+
+#: Default on-disk entry cap.  Generous: a full quick-figure sweep is a
+#: few hundred points, so the cap only bites on long-lived working
+#: trees accumulating results across many code versions.
+DEFAULT_MAX_ENTRIES = 4096
 
 
 @functools.lru_cache(maxsize=1)
@@ -76,13 +88,23 @@ class PointCache:
     ----------
     root:
         Cache directory (created lazily on first write).
+    max_entries:
+        On-disk entry cap; a ``put`` over the cap evicts oldest-first
+        by modification time.  ``None`` disables the bound.
     """
 
-    def __init__(self, root: Path = DEFAULT_ROOT) -> None:
+    def __init__(self, root: Path = DEFAULT_ROOT,
+                 max_entries: Optional[int] = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}")
         self.root = Path(root)
+        self.max_entries = max_entries
         #: Counters for reporting (e.g. ``track.py`` cold/warm split).
         self.hits = 0
         self.misses = 0
+        #: Entries removed by the size cap since construction.
+        self.evictions = 0
 
     def key(self, point: "SweepPoint") -> str:
         """The content-address of ``point`` (see module docstring)."""
@@ -114,8 +136,11 @@ class PointCache:
         return True, value
 
     def put(self, point: "SweepPoint", value: Any) -> None:
-        """Store one result (atomically: write-then-rename)."""
+        """Store one result (atomically: write-then-rename), evicting
+        oldest entries first when the cap would be exceeded."""
         path = self._path(self.key(point))
+        if self.max_entries is not None and not path.exists():
+            self._evict_to(self.max_entries - 1)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"fn": point.fn, "kwargs": point.kwargs, "value": value}
         tmp = path.with_suffix(".tmp")
@@ -123,20 +148,44 @@ class PointCache:
             pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
         tmp.replace(path)
 
+    def _evict_to(self, budget: int) -> None:
+        """Drop oldest entries (mtime, then path) until at most
+        ``budget`` remain."""
+        entries = self._entries()
+        excess = len(entries) - budget
+        if excess <= 0:
+            return
+        entries.sort(key=lambda p: (p.stat().st_mtime, p))
+        for path in entries[:excess]:
+            path.unlink()
+            self.evictions += 1
+
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.rglob("*.pkl"):
+            for path in self._entries():
                 path.unlink()
                 removed += 1
             for sub in sorted(self.root.glob("*"), reverse=True):
-                if sub.is_dir() and not any(sub.iterdir()):
+                if sub.is_dir() and not any(sub.iterdir()):  # repro: allow[listdir-order] — emptiness test, order-free
                     sub.rmdir()
         return removed
 
+    def _entries(self) -> list:
+        """Every entry path, in sorted order (directory iteration order
+        is file-system dependent; reports and eviction must not be)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.rglob("*.pkl"))
+
     def entry_count(self) -> int:
         """Number of cached results on disk."""
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.rglob("*.pkl"))
+        return len(self._entries())
+
+    def stats(self) -> str:
+        """One-line counter summary for CLI cache reports."""
+        line = f"{self.hits} hit / {self.misses} miss"
+        if self.evictions:
+            line += f" / {self.evictions} evicted"
+        return line

@@ -28,6 +28,7 @@ contract:
 from __future__ import annotations
 
 import os
+import shlex
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -106,10 +107,19 @@ class SweepPoint:
         return dict(self.kwargs)
 
     def replay_expression(self) -> str:
-        """A copy-pasteable serial replay of this point."""
+        """A copy-pasteable serial replay of this point.
+
+        The generated code is shell-quoted as one argument, so kwargs
+        containing quotes, backslashes or newlines round-trip: their
+        ``repr`` is valid Python, and :func:`shlex.quote` keeps the
+        shell from interpreting any of it.
+        """
         module, _, attr = self.fn.partition(":")
+        # ``attr`` may be dotted (``Class.method``): import its root.
+        root = attr.partition(".")[0]
         args = ", ".join(f"{k}={v!r}" for k, v in self.kwargs)
-        return f"python -c \"from {module} import {attr}; {attr}({args})\""
+        code = f"from {module} import {root}; {attr}({args})"
+        return f"python -c {shlex.quote(code)}"
 
 
 def default_jobs() -> int:
@@ -190,19 +200,27 @@ def _run_pool(points: Sequence[SweepPoint], pending: Sequence[int],
     for the safety contract."""
     import multiprocessing
 
-    from ..check.flags import checks_enabled
+    from ..check.flags import checks_enabled, races_enabled, shake_seed
 
     ctx = multiprocessing.get_context("spawn")
     payloads = [(points[i].fn, points[i].kwargs) for i in pending]
     workers = min(jobs, len(pending))
     with ctx.Pool(workers, initializer=init_worker,
-                  initargs=(checks_enabled(),)) as pool:
+                  initargs=(checks_enabled(), races_enabled(),
+                            shake_seed())) as pool:
         outcomes = pool.map(execute_point, payloads)
     results: Dict[int, Any] = {}
     for i, outcome in zip(pending, outcomes):
         status = outcome[0]
         if status == "ok":
             results[i] = outcome[1]
+            if len(outcome) > 2 and outcome[2]:
+                # Race findings recorded inside the worker: replay them
+                # into the parent's registry so a pooled run reports
+                # exactly what a serial one would.
+                from ..check.races import report_finding
+                for finding in outcome[2]:
+                    report_finding(finding)
         else:
             _status, exc_type, exc_msg, tb_text = outcome
             raise PointError(points[i], i, f"{exc_type}: {exc_msg}",

@@ -34,31 +34,40 @@ def resolve(fn_path: str) -> Any:
     return target
 
 
-def init_worker(checks_on: bool) -> None:
-    """Pool initializer: propagate the parent's sanitizer flag.
+def init_worker(checks_on: bool, races_on: bool = False,
+                shake: Any = None) -> None:
+    """Pool initializer: propagate the parent's sanitizer state.
 
-    ``enable_checks`` is process-local state; the ``REPRO_CHECK``
-    environment variable is inherited by spawn, but a programmatic
-    ``override_checks(True)`` scope (e.g. ``--check`` on the CLI) is
-    not — so the parent captures :func:`checks_enabled` at submit time
-    and every worker re-applies it here.
+    ``enable_checks``/``enable_races``/``set_shake_seed`` are
+    process-local state; the ``REPRO_CHECK``/``REPRO_RACES``/
+    ``REPRO_SHAKE`` environment variables are inherited by spawn, but a
+    programmatic override scope in the parent (e.g. ``--check`` or
+    ``--races`` on a CLI) is not — so the parent captures the flags at
+    submit time and every worker re-applies them here.
     """
-    from ..check.flags import enable_checks
+    from ..check.flags import enable_checks, enable_races, set_shake_seed
 
     enable_checks(checks_on)
+    enable_races(races_on)
+    set_shake_seed(shake)
 
 
 def execute_point(payload: Tuple[str, Tuple[Tuple[str, Any], ...]]
                   ) -> Tuple[Any, ...]:
     """Run one point; always return a picklable outcome tuple.
 
-    ``("ok", value)`` on success, else
-    ``("error", exc_type_name, message, traceback_text)``.
+    ``("ok", value, race_findings)`` on success, else
+    ``("error", exc_type_name, message, traceback_text)``.  The third
+    element drains this worker's race-finding registry (always empty
+    unless the parent enabled race tracking): findings are plain frozen
+    dataclasses, so they cross the pool as data and the parent re-files
+    them.
     """
     fn_path, kwargs_items = payload
     try:
         value = resolve(fn_path)(**dict(kwargs_items))
-        return ("ok", value)
+        from ..check.races import drain_findings
+        return ("ok", value, tuple(drain_findings()))
     except Exception as exc:  # noqa: BLE001 - shipped back, not hidden
         return ("error", type(exc).__name__, str(exc),
                 traceback.format_exc())

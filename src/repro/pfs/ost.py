@@ -59,6 +59,13 @@ class OST:
         """
         req = self._server.request()
         yield req
+        tracker = self.kernel._tracker
+        if tracker is not None:
+            # The served-bytes/busy-time counters are shared across every
+            # job that touches this OST; the grant edge of ``_server``
+            # orders holders, so a clean run records no conflict here —
+            # bypassing the resource would surface as a shared-state race.
+            tracker.access(f"ost:{self.index}", write=True)
         try:
             if fault_fail:
                 # A failing request occupies the device for the seek

@@ -12,6 +12,28 @@ were scheduled (FIFO via a monotonically increasing sequence number), with
 a two-level priority so that internal bookkeeping events (``URGENT``) beat
 ordinary ones.  Two runs of the same program produce bit-identical event
 orders and therefore identical timings and results.
+
+Schedule shaking
+----------------
+The FIFO tie-break is part of the model's semantics (e.g. FIFO resource
+grants under contention), but no *data result* may depend on it.  To
+make that checkable, a kernel constructed while
+:func:`~repro.check.flags.shake_seed` is set replaces the raw sequence
+number in each queue entry with a seeded bijective permutation of it:
+same-``(time, priority)`` entries are then popped in a pseudo-random
+but fully deterministic order, while causal order is untouched (an
+event scheduled while processing another still runs after it, because
+time never goes backwards and the front slot only holds the global
+minimum).  The permutation is a bijection over 63 bits, so tie-break
+keys stay unique and comparisons never reach the event objects.
+
+Race tracking
+-------------
+When :func:`~repro.check.flags.races_enabled` is on at construction,
+the kernel carries a :class:`~repro.check.races.KernelRaceTracker` and
+reports every schedule and every processed event to it — the vector-
+clock happens-before spine the race detector builds on.  Detached (the
+default), each hook site costs one is-None test.
 """
 
 from __future__ import annotations
@@ -20,9 +42,14 @@ import heapq
 import weakref
 from typing import Any, Generator, Iterable, List, Optional, Set, Tuple
 
+from ..check.flags import races_enabled, shake_seed
 from ..errors import DeadlockError, SimulationError
 from .events import AllOf, AnyOf, Event, Timeout, NORMAL, URGENT
 from .process import Process
+
+#: 63-bit mask for the shaken tie-break permutation (queue keys stay
+#: positive machine ints).
+_SHAKE_MASK = (1 << 63) - 1
 
 
 class Kernel:
@@ -46,12 +73,21 @@ class Kernel:
     #: dict lookup (``__weakref__`` kept so watchers may weakly hold a
     #: kernel just like the kernel weakly holds them).
     __slots__ = ("_now", "_queue", "_seq", "_next", "_active_processes",
-                 "_live_processes", "_deadlock_watchers", "__weakref__")
+                 "_live_processes", "_deadlock_watchers", "_tracker",
+                 "_tiebreak", "__weakref__")
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
+        #: Happens-before tracker (see module docstring); bound for the
+        #: kernel's life when ``REPRO_RACES`` is on at construction.
+        self._tracker = None
+        if races_enabled():
+            from ..check.races import KernelRaceTracker
+            self._tracker = KernelRaceTracker(self)
+        #: Schedule-shaker seed; ``None`` keeps the FIFO tie-break.
+        self._tiebreak = shake_seed()
         #: Front-slot buffer: when non-empty it holds the *global
         #: minimum* pending entry (strictly less than the heap head).
         #: The dominant scheduling pattern — an event processed now
@@ -102,11 +138,24 @@ class Kernel:
         """Enqueue a triggered ``event`` for processing at ``now + delay``.
 
         The entry lands in the front slot when it is the new global
-        minimum (sequence numbers break every tie, so comparisons never
-        reach the event object); otherwise it goes to the heap.
+        minimum (tie-break keys are unique, so comparisons never reach
+        the event object); otherwise it goes to the heap.  The
+        tie-break key is the raw sequence number (FIFO) or, under the
+        schedule shaker, a seeded bijective permutation of it.
         """
         self._seq += 1
-        entry = (self._now + delay, priority, self._seq, event)
+        seq = self._seq
+        tiebreak = self._tiebreak
+        if tiebreak is not None:
+            # splitmix64-style mix, truncated to 63 bits: odd-constant
+            # multiplies and the xor keep it a bijection, so no two
+            # entries collide and FIFO determinism is merely permuted.
+            x = (seq * 0x9E3779B97F4A7C15) & _SHAKE_MASK
+            x ^= (tiebreak * 0xBF58476D1CE4E5B9) & _SHAKE_MASK
+            seq = (x * 0x94D049BB133111EB + 1) & _SHAKE_MASK
+        if self._tracker is not None:
+            self._tracker.on_schedule(event)
+        entry = (self._now + delay, priority, seq, event)
         head = self._next
         if head is None:
             queue = self._queue
@@ -135,6 +184,8 @@ class Kernel:
         else:
             raise SimulationError("step() on an empty event queue")
         self._now, _prio, _seq, event = entry
+        if self._tracker is not None:
+            self._tracker.begin_event(event)
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
         assert callbacks is not None, "event processed twice"
@@ -160,6 +211,7 @@ class Kernel:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
         queue = self._queue
         pop = heapq.heappop
+        tracker = self._tracker
         if until is None:
             # Hot loop: step() inlined — one Python call per event is
             # measurable at millions of events per run.  The front slot
@@ -173,6 +225,8 @@ class Kernel:
                 else:
                     break
                 self._now, _prio, _seq, event = entry
+                if tracker is not None:
+                    tracker.begin_event(event)
                 callbacks = event.callbacks
                 event.callbacks = None  # mark processed
                 if len(callbacks) == 1:

@@ -60,6 +60,10 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiting: Deque[Request] = deque()
+        #: Race-tracker lock clock: the (joined) clock of past releases,
+        #: so even an uncontended grant synchronizes with the previous
+        #: critical section.  None without the tracker.
+        self._release_vc = None
 
     @property
     def in_use(self) -> int:
@@ -76,6 +80,11 @@ class Resource:
         req = Request(self.kernel, self)
         if self._in_use < self.capacity and not self._waiting:
             self._in_use += 1
+            tracker = self.kernel._tracker
+            if tracker is not None:
+                # Uncontended grant: no event flows from the previous
+                # holder, so join the published release clock instead.
+                tracker.lock_acquire(self, req)
             req.succeed(self)
         else:
             self._waiting.append(req)
@@ -95,9 +104,14 @@ class Resource:
         if self._in_use <= 0:  # pragma: no cover - defensive
             raise SimulationError(f"release() on idle resource {self.name}")
         self._in_use -= 1
+        tracker = self.kernel._tracker
+        if tracker is not None:
+            tracker.lock_release(self)
         while self._waiting and self._in_use < self.capacity:
             nxt = self._waiting.popleft()
             self._in_use += 1
+            if tracker is not None:
+                tracker.lock_acquire(self, nxt)
             nxt.succeed(self)
 
 
@@ -138,6 +152,11 @@ class Store:
 
     def put(self, item: Any) -> None:
         """Deposit ``item``; wakes the oldest waiting getter if any."""
+        tracker = self.kernel._tracker
+        if tracker is not None:
+            # Queue order is shared mutable state: concurrent putters
+            # make the item order schedule-dependent.
+            tracker.access(f"store:{self.name}", write=True)
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
@@ -145,6 +164,9 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the next available item."""
+        tracker = self.kernel._tracker
+        if tracker is not None:
+            tracker.access(f"store:{self.name}", write=True)
         ev = Event(self.kernel, name=f"get:{self.name}")
         if self._items:
             ev.succeed(self._items.popleft())

@@ -7,7 +7,7 @@ import pytest
 
 import repro
 from repro.check.__main__ import main
-from repro.check.lint import ALL_RULES
+from repro.check.lint import ALL_RULES, WAIVER_SYNTAX
 
 PKG = Path(repro.__file__).parent
 
@@ -52,6 +52,30 @@ def test_list_rules_names_every_rule(capsys):
     out = capsys.readouterr().out
     for rule in ALL_RULES:
         assert rule in out
+
+
+def test_list_rules_shows_waiver_syntax(capsys):
+    """Every rule line advertises its escape hatch."""
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert WAIVER_SYNTAX.format(rule=rule) in out
+
+
+def test_races_flag_exclusions(capsys):
+    assert main(["--races", "--static-only"]) == 2
+    assert main(["--races", "--smoke-only"]) == 2
+    assert main(["--races", "--chaos", "2"]) == 2
+    assert main(["--races", "--shake", "-1"]) == 2
+
+
+@pytest.mark.slow
+def test_races_battery_is_clean(capsys):
+    """The race-detector CI gate: lint plus the shaken scenario battery
+    find no races and no schedule-dependent data."""
+    assert main([str(PKG), "--races", "--shake", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "no races" in out
 
 
 @pytest.mark.slow

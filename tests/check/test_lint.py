@@ -4,11 +4,13 @@ stays quiet on sanctioned idioms, and respects scoping and waivers."""
 from pathlib import Path
 
 from repro.check.lint import (ALL_RULES, LintConfig, OPT_IN_RULES,
-                              ORDERING_RULES, UNIVERSAL_RULES, lint_paths,
-                              lint_source, module_name_for)
+                              ORDERING_RULES, POOL_RULES, UNIVERSAL_RULES,
+                              WAIVER_SYNTAX, lint_paths, lint_source,
+                              module_name_for)
 
 SIM = "repro.sim.kernel"          # event-ordering package
 OUTSIDE = "repro.profiling.meter"  # not on an event-ordering path
+POOL = "repro.check.chaos"         # pool package (not event-ordering)
 
 
 def rules(src, module=SIM):
@@ -97,9 +99,63 @@ def test_config_scoping_is_prefix_based():
 
 
 def test_rule_registry_is_partitioned():
-    assert ORDERING_RULES | UNIVERSAL_RULES | OPT_IN_RULES == ALL_RULES
+    assert (ORDERING_RULES | UNIVERSAL_RULES | POOL_RULES |
+            OPT_IN_RULES) == ALL_RULES
     assert not ORDERING_RULES & UNIVERSAL_RULES
-    assert not OPT_IN_RULES & (ORDERING_RULES | UNIVERSAL_RULES)
+    assert not POOL_RULES & (ORDERING_RULES | UNIVERSAL_RULES)
+    assert not OPT_IN_RULES & (ORDERING_RULES | UNIVERSAL_RULES | POOL_RULES)
+
+
+def test_waiver_syntax_round_trips():
+    """The waiver string ``--list-rules`` advertises actually waives."""
+    src = ("import time\n"
+           f"t = time.time()  {WAIVER_SYNTAX.format(rule='wallclock')}\n")
+    assert rules(src) == []
+
+
+def test_sched_iteration_flagged_and_sorted_sanctioned():
+    assert rules("for x in a.union(b):\n    pass\n") == ["sched-iteration"]
+    assert "sched-iteration" in rules(
+        "out = [x for x in ready.intersection(live)]\n")
+    assert rules("for x in sorted(a.union(b)):\n    pass\n") == []
+    # Not an ordering package -> rule off.
+    assert rules("for x in a.union(b):\n    pass\n", module=OUTSIDE) == []
+
+
+def test_pool_global_flagged_in_pool_packages_only():
+    src = "_CACHE = {}\n"
+    assert rules(src, module=POOL) == ["pool-global"]
+    assert rules("_ITEMS = []\n", module=POOL) == ["pool-global"]
+    assert rules("from collections import deque\n_Q = deque()\n",
+                 module=POOL) == ["pool-global"]
+    assert rules(src, module=SIM) == []
+    assert rules(src, module=OUTSIDE) == []
+
+
+def test_pool_global_exemptions():
+    # Dunder metadata is assigned once, never mutated across the pool.
+    assert rules("__all__ = ['a', 'b']\n", module=POOL) == []
+    # Function-local mutables re-initialize per call.
+    assert rules("def f():\n    acc = {}\n    return acc\n",
+                 module=POOL) == []
+    # Immutable module constants are fine.
+    assert rules("RATES = (0.02, 0.05)\n", module=POOL) == []
+    # And the advertised waiver works.
+    assert rules("_MEMO = {}  # repro: allow[pool-global] — by design\n",
+                 module=POOL) == []
+
+
+def test_spawn_closure_flagged_everywhere():
+    assert rules("p = SweepPoint.make(lambda: 1)\n", module=OUTSIDE
+                 ) == ["spawn-closure"]
+    assert rules("import functools\n"
+                 "run_sweep(functools.partial(f, 1), jobs=2)\n",
+                 module=OUTSIDE) == ["spawn-closure"]
+    assert rules("p = parallel.SweepPoint(fn=lambda: 1)\n", module=OUTSIDE
+                 ) == ["spawn-closure"]
+    # Importable dotted-path targets are the sanctioned idiom.
+    assert rules("p = SweepPoint.make('pkg.mod:fn', x=1)\n",
+                 module=OUTSIDE) == []
 
 
 def test_module_docstring_rule_is_opt_in():

@@ -44,3 +44,33 @@ def probe_checks():
     from repro.check.flags import checks_enabled
 
     return checks_enabled()
+
+
+def probe_races():
+    """Reports whether the race tracker is on in the executing
+    process."""
+    from repro.check.flags import races_enabled
+
+    return races_enabled()
+
+
+def echo(**kwargs):
+    """Returns its kwargs — exercises replay-expression round-trips."""
+    return kwargs
+
+
+class Tools:
+    """Dotted-attribute point target (``module:Class.method``)."""
+
+    @staticmethod
+    def double(x):
+        return 2 * x
+
+
+def emit_finding(tag):
+    """Records one race finding — exercises findings crossing the
+    worker-pool boundary as data."""
+    from repro.check.races import RaceFinding, report_finding
+
+    report_finding(RaceFinding("shared-state", 0.0, tag))
+    return tag

@@ -73,6 +73,63 @@ def test_clear_and_entry_count(tmp_path):
     assert cache.clear() == 0  # idempotent on an empty cache
 
 
+def test_max_entries_validation(tmp_path):
+    import pytest
+
+    with pytest.raises(ValueError, match="max_entries"):
+        PointCache(root=tmp_path, max_entries=0)
+    PointCache(root=tmp_path, max_entries=None)  # unbounded is fine
+
+
+def test_cap_evicts_oldest_first(tmp_path):
+    import os
+
+    cache = PointCache(root=tmp_path / "pointcache", max_entries=3)
+    points = [SweepPoint.make(f"{FNS}:square", x=x) for x in range(5)]
+    for i, point in enumerate(points):
+        cache.put(point, i * i)
+        # Distinct mtimes so "oldest" is unambiguous on coarse clocks.
+        path = cache._path(cache.key(point))
+        os.utime(path, (1000 + i, 1000 + i))
+    assert cache.entry_count() == 3
+    assert cache.evictions == 2
+    # The two oldest entries are gone; the three newest survive.
+    hits = [cache.get(p)[0] for p in points]
+    assert hits == [False, False, True, True, True]
+
+
+def test_unbounded_cache_never_evicts(tmp_path):
+    cache = PointCache(root=tmp_path / "pointcache", max_entries=None)
+    points = [SweepPoint.make(f"{FNS}:square", x=x) for x in range(6)]
+    for point in points:
+        cache.put(point, 1)
+    assert cache.entry_count() == 6
+    assert cache.evictions == 0
+
+
+def test_rewriting_an_entry_does_not_evict(tmp_path):
+    cache = PointCache(root=tmp_path / "pointcache", max_entries=2)
+    a = SweepPoint.make(f"{FNS}:square", x=1)
+    b = SweepPoint.make(f"{FNS}:square", x=2)
+    cache.put(a, 1)
+    cache.put(b, 4)
+    cache.put(a, 1)  # overwrite in place: the cap is not exceeded
+    assert cache.entry_count() == 2
+    assert cache.evictions == 0
+
+
+def test_stats_line(tmp_path):
+    cache = PointCache(root=tmp_path / "pointcache", max_entries=1)
+    point = SweepPoint.make(f"{FNS}:square", x=1)
+    assert cache.stats() == "0 hit / 0 miss"
+    cache.get(point)
+    cache.put(point, 1)
+    cache.get(point)
+    assert cache.stats() == "1 hit / 1 miss"
+    cache.put(SweepPoint.make(f"{FNS}:square", x=2), 4)  # evicts x=1
+    assert cache.stats() == "1 hit / 1 miss / 1 evicted"
+
+
 def test_code_digest_is_stable_hex():
     d = code_digest()
     assert d == code_digest()

@@ -43,6 +43,31 @@ def test_replay_expression_names_function_and_kwargs():
     assert "square(x=7)" in expr
 
 
+def test_replay_expression_quotes_hostile_kwargs():
+    """Regression: kwargs containing quotes, newlines or shell
+    metacharacters must survive as ONE shell argument whose payload is
+    valid Python."""
+    import shlex
+
+    hostile = "it's \"quoted\"\nnew\tline & $HOME `cmd`; rm"
+    p = SweepPoint.make(f"{FNS}:echo", x=hostile, n=3)
+    prog, flag, code = shlex.split(p.replay_expression())
+    assert (prog, flag) == ("python", "-c")
+    assert f"x={hostile!r}" in code
+    # The one-liner really runs: importing and calling the point.
+    exec(code, {})  # noqa: S102 - replaying our own generated code
+
+
+def test_replay_expression_imports_dotted_attr_root():
+    import shlex
+
+    p = SweepPoint.make(f"{FNS}:Tools.double", x=2)
+    _, _, code = shlex.split(p.replay_expression())
+    assert code.startswith("from tests.parallel.pointfuncs import Tools; ")
+    assert "Tools.double(x=2)" in code
+    exec(code, {})
+
+
 def test_serial_error_names_point():
     points = _points("fail_at", [0, 1, 2], bad=1)
     with pytest.raises(PointError) as err:
@@ -100,3 +125,32 @@ def test_check_flag_propagates_into_workers():
         assert run_sweep(point, jobs=2) == [True, True]
     with override_checks(False):
         assert run_sweep(point, jobs=2) == [False, False]
+
+
+@pytest.mark.slow
+def test_races_flag_propagates_into_workers():
+    from repro.check.flags import override_races
+
+    point = [SweepPoint.make(f"{FNS}:probe_races"),
+             SweepPoint.make(f"{FNS}:probe_races")]
+    with override_races(True):
+        assert run_sweep(point, jobs=2) == [True, True]
+    with override_races(False):
+        assert run_sweep(point, jobs=2) == [False, False]
+
+
+@pytest.mark.slow
+def test_race_findings_cross_the_pool():
+    """Findings recorded inside a worker land in the parent registry,
+    so a pooled run reports exactly what a serial one would."""
+    from repro.check.flags import override_races
+    from repro.check.races import drain_findings
+
+    drain_findings()
+    points = [SweepPoint.make(f"{FNS}:emit_finding", tag=f"w{i}")
+              for i in range(2)]
+    with override_races(True):
+        assert run_sweep(points, jobs=2) == ["w0", "w1"]
+    findings = drain_findings()
+    assert sorted(f.message for f in findings) == ["w0", "w1"]
+    assert all(f.kind == "shared-state" for f in findings)

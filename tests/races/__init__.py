@@ -1,0 +1,1 @@
+"""Race-detector and schedule-invariance tests (repro.check.races/shake)."""
