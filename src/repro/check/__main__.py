@@ -306,9 +306,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"--chaos needs a positive run count, got {args.chaos}",
                   file=sys.stderr)
             return 2
+        from ..obs import metrics
         from .chaos import run_campaign
-        return run_campaign(args.chaos, base_seed=args.chaos_seed,
-                            quiet=args.quiet, jobs=args.jobs)
+        metrics.reset()
+        status = run_campaign(args.chaos, base_seed=args.chaos_seed,
+                              quiet=args.quiet, jobs=args.jobs)
+        if metrics.obs_enabled():
+            from ..obs.manifest import write_manifest
+            path = write_manifest("chaos", config={
+                "n": args.chaos, "base_seed": args.chaos_seed})
+            if not args.quiet:
+                print(f"run manifest: {path}")
+        return status
     if args.races:
         if args.static_only or args.smoke_only:
             print("--races cannot be combined with --static-only or "

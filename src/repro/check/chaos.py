@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from ..obs import metrics
 from .flags import override_checks
 
 #: Ranks per chaos job (small on purpose: the campaign is a CI gate).
@@ -190,7 +191,12 @@ def run_point(index: int, base_seed: int) -> Tuple[str, object, int, int]:
     try:
         with override_checks(True):
             if name not in _REFERENCES:
-                _REFERENCES[name], _, _ = _run_job(spec, body, policy)
+                # Suppress the reference job's metrics: whether it runs
+                # here depends on per-process memo state, so letting it
+                # record would make a point's snapshot depend on which
+                # worker (or how many) ran the campaign.
+                with metrics.suppressed():
+                    _REFERENCES[name], _, _ = _run_job(spec, body, policy)
             plan = FaultPlan(seed=seed,
                              **_plan_fields(rate, agg_crash_rate))
             results, inj, integ = _run_job(spec, body, policy, plan,

@@ -137,11 +137,13 @@ class LintConfig:
         "repro.sim", "repro.mpi", "repro.io", "repro.pfs",
         "repro.core", "repro.cluster", "repro.dataspace",
         "repro.experiments", "repro.workloads", "repro.highlevel",
-        "repro.faults", "repro.parallel",
+        "repro.faults", "repro.parallel", "repro.obs",
     )
     #: Packages whose module state is copied into pool workers (sweep
-    #: engine plus the check battery it drives) — get ``pool-global``.
-    pool_packages: Tuple[str, ...] = ("repro.parallel", "repro.check")
+    #: engine plus the check battery it drives, plus the metrics
+    #: registry they ship snapshots from) — get ``pool-global``.
+    pool_packages: Tuple[str, ...] = ("repro.parallel", "repro.check",
+                                      "repro.obs")
     universal_rules: FrozenSet[str] = UNIVERSAL_RULES
     ordering_rules: FrozenSet[str] = ORDERING_RULES
     pool_rules: FrozenSet[str] = POOL_RULES

@@ -27,6 +27,7 @@ from typing import Optional
 from ..check.flags import checks_enabled
 from ..dataspace import RunList
 from ..io.twophase import TwoPhasePlan
+from ..obs import metrics
 
 
 def translation_delta(base: RunList, other: RunList) -> Optional[int]:
@@ -80,6 +81,9 @@ class PlanMemo:
         if delta is None or delta % itemsize != 0:
             return None
         self.reuses += 1
+        m = metrics.current()
+        if m is not None:
+            m.count("io.plan_reuses")
         plan = self.base_plan if delta == 0 else self.base_plan.shifted(delta)
         if checks_enabled():
             from ..check.plan import check_translation
@@ -91,3 +95,6 @@ class PlanMemo:
         self.base_runs = runs
         self.base_plan = plan
         self.exchanges += 1
+        m = metrics.current()
+        if m is not None:
+            m.count("io.plan_exchanges")

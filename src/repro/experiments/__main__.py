@@ -52,11 +52,27 @@ def main(argv=None) -> int:
                              "(results/.pointcache/)")
     parser.add_argument("--clear-cache", action="store_true",
                         help="drop every cached sweep point, then proceed")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the metrics registry (same as "
+                             "REPRO_OBS=1) and write a run manifest "
+                             "results/<id>/manifest.json per experiment")
     args = parser.parse_args(argv)
+    from ..obs import metrics
     from ..parallel import PointCache
+    if args.obs:
+        # Process-wide, not a with_sanitizers override scope: the
+        # registry must outlive the run so the manifest below sees it.
+        metrics.enable_obs(True)
     cache = None if args.no_cache else PointCache()
     if args.clear_cache:
-        print(f"point cache: cleared {PointCache().clear()} entries")
+        # Clear through the run's own cache object so the counters the
+        # cache note reports include the clear, and report the state
+        # *after* clearing (the old code printed a fresh instance's
+        # stats, which read "0 hit / 0 miss" whatever happened).
+        clearer = cache if cache is not None else PointCache()
+        removed = clearer.clear()
+        print(f"point cache: cleared {removed} entries, "
+              f"{clearer.entry_count()} on disk, stats {clearer.stats()}")
     if args.experiment is None:
         print("Available experiments:")
         for name in registry.names():
@@ -72,6 +88,7 @@ def main(argv=None) -> int:
         t0 = time.time()  # repro: allow[wallclock] — host-side progress report
         if cache is not None:
             cache.hits = cache.misses = cache.evictions = 0
+        metrics.reset()
         result = registry.run(name, check=True if args.check else None,
                               races=True if args.races else None,
                               quick=args.quick, jobs=args.jobs, cache=cache)
@@ -83,8 +100,16 @@ def main(argv=None) -> int:
             (outdir / f"{name}.txt").write_text(
                 result.render(plot=True) + "\n")
             (outdir / f"{name}.csv").write_text(result.to_csv() + "\n")
+        if metrics.obs_enabled():
+            from ..obs.manifest import write_manifest
+            mpath = write_manifest(name, config={
+                "experiment": name, "quick": bool(args.quick),
+                "check": bool(args.check), "races": bool(args.races)})
+            print(f"run manifest: {mpath}")
+        # The note renders in every mode — serial, pooled, or with the
+        # cache disabled — so run logs always say what the cache did.
         cache_note = (f", point cache {cache.stats()}"
-                      if cache is not None else "")
+                      if cache is not None else ", point cache disabled")
         print(f"\n[{name} regenerated in {time.time() - t0:.1f}s "  # repro: allow[wallclock]
               f"wall{cache_note}]\n")
     return 0

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..integrity.corrupt import corrupt_object
+from ..obs import metrics
 from .plan import FaultPlan
 
 
@@ -110,9 +111,17 @@ class FaultInjector:
 
     # -- logging -----------------------------------------------------------
     def record(self, kind: str, location: str, detail: str) -> None:
-        """Append one :class:`FaultRecord` stamped with simulated now."""
+        """Append one :class:`FaultRecord` stamped with simulated now.
+
+        The single choke point of the ledger: every injection,
+        detection and recovery passes through here, so this is also
+        where the ``faults.<kind>`` observability counters accumulate.
+        """
         self.records.append(
             FaultRecord(self.kernel.now, kind, location, detail))
+        m = metrics.current()
+        if m is not None:
+            m.count(f"faults.{kind}")
 
     def injected(self) -> List[FaultRecord]:
         """Only the ``inject:*`` records (the fault schedule as it ran)."""

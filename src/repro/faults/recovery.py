@@ -29,6 +29,7 @@ from typing import Dict, Generator, List, Sequence, Tuple
 
 from ..errors import (FaultError, IntegrityError, RecoveryError,
                       TransientIOError)
+from ..obs import metrics
 
 #: A window's identity across recovery rounds: its position in the
 #: original plan — ``(aggregator index, iteration)``.
@@ -131,6 +132,9 @@ def read_with_retry(ctx, file, offset: int, nbytes: int,
                     f"({policy.max_retries + 1} attempts; last: {exc})"
                 ) from exc
             delay = policy.delay(attempt)
+            m = metrics.current()
+            if m is not None:
+                m.count("pfs.read_retries")
             if faults is not None:
                 kind = ("checksum mismatch"
                         if isinstance(exc, IntegrityError) else "EIO")

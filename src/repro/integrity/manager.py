@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from ..errors import IntegrityError
+from ..obs import metrics
 from .digest import crc32c, partial_digest
 
 #: Counter keys reported by :meth:`IntegrityManager.stats`.
@@ -97,22 +98,34 @@ class IntegrityManager:
     def _log(self, kind: str, location: str, detail: str) -> None:
         faults = getattr(self.machine, "faults", None)
         if faults is not None:
+            # FaultInjector.record also feeds the faults.* counters.
             faults.record(kind, location, detail)
             return
         from ..faults.injector import FaultRecord
         self.records.append(FaultRecord(self.machine.kernel.now, kind,
                                         location, detail))
+        m = metrics.current()
+        if m is not None:
+            m.count(f"faults.{kind}")
 
     # -- storage path ------------------------------------------------------
     def ensure_digests(self, file) -> None:
         """Compute ``file``'s per-stripe-block digests if absent."""
         if file.block_digests is None:
-            self.blocks_digested += file.compute_digests()
+            digested = file.compute_digests()
+            self.blocks_digested += digested
+            m = metrics.current()
+            if m is not None:
+                m.count("integrity.blocks_digested", digested)
 
     def refresh_digests(self, file, offset: int, nbytes: int) -> None:
         """Re-digest the blocks an in-place write touched."""
         if file.block_digests is not None:
-            self.blocks_digested += file.refresh_digests(offset, nbytes)
+            digested = file.refresh_digests(offset, nbytes)
+            self.blocks_digested += digested
+            m = metrics.current()
+            if m is not None:
+                m.count("integrity.blocks_digested", digested)
 
     def verify_read(self, file, offset: int, data) -> None:
         """Verify one served extent against ``file``'s block digests.
@@ -133,6 +146,7 @@ class IntegrityManager:
         view = memoryview(data)
         end = offset + nbytes
         bad = []
+        verified_before = self.blocks_verified
         for b in range((offset // block_size), ((end - 1) // block_size) + 1):
             b_lo = b * block_size
             b_hi = min(b_lo + block_size, file.size)
@@ -147,6 +161,10 @@ class IntegrityManager:
             self.blocks_verified += 1
             if crc != file.block_digests[b]:
                 bad.append((b, file.layout.ost_of(b_lo)))
+        m = metrics.current()
+        if m is not None:
+            m.count("integrity.blocks_verified",
+                    self.blocks_verified - verified_before)
         if not bad:
             return
         self.detections["ost"] += len(bad)
@@ -183,6 +201,9 @@ class IntegrityManager:
             if p is None or getattr(p, "digest", None) is None:
                 continue
             self.partials_verified += 1
+            m = metrics.current()
+            if m is not None:
+                m.count("integrity.partials_verified")
             if partial_digest(p) != p.digest:
                 self.detections["partial"] += 1
                 self._log("detect:partial-corrupt", f"rank{ctx.rank}",

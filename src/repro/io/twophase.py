@@ -35,6 +35,7 @@ from ..dataspace import RunList, merge_runlists
 from ..errors import IOLayerError
 from ..mpi import RankContext, collectives as coll
 from ..mpi.wire import wire_size
+from ..obs import metrics
 from ..pfs import PFSFile
 from ..profiling import PhaseTimeline
 from .aggregation import (iteration_windows, partition_file_domains,
@@ -397,6 +398,10 @@ def _aggregator_read_loop(ctx: RankContext, file: PFSFile,
                     f"shuffle wire-size accounting drifted: closed form "
                     f"{nbytes} != measured {wire_size(payload)} for "
                     f"rank {r}, window {t} of aggregator {agg_idx}")
+            m = metrics.current()
+            if m is not None:
+                m.count("io.shuffle_bytes", nbytes)
+                m.count("io.shuffle_bytes_measured", wire_size(payload))
             sends.append(ctx.comm.isend(payload, r, base_tag + t,
                                         nbytes=nbytes))
         yield from ctx.memcpy(copy_bytes)
@@ -533,6 +538,10 @@ def _writer_send_loop(ctx: RankContext, plan: TwoPhasePlan, my_runs: RunList,
                     f"write shuffle wire-size accounting drifted: closed "
                     f"form {wire} != measured {wire_size(payload)} for "
                     f"window {t} of aggregator {i}")
+            m = metrics.current()
+            if m is not None:
+                m.count("io.shuffle_bytes", wire)
+                m.count("io.shuffle_bytes_measured", wire_size(payload))
             yield from ctx.comm.send(payload, agg_rank, base_tag + t,
                                      nbytes=wire)
     return None

@@ -28,8 +28,13 @@ from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 from ..check.flags import checks_enabled
 from ..cluster import Machine
 from ..errors import MPIError
+from ..obs import metrics
 from ..sim import Event, Kernel
 from .wire import wire_size
+
+#: Fixed bucket edges (bytes) of the ``mpi.msg_bytes`` histogram —
+#: power-of-16 decades from tiny control messages to multi-MiB windows.
+MSG_BYTES_EDGES = (64, 1024, 16384, 262144, 4194304)
 
 #: Wildcard source for receives.
 ANY_SOURCE = -1
@@ -355,6 +360,11 @@ class CommHandle:
             races.note_send(msg)
         self.comm.messages_sent += 1
         self.comm.bytes_sent += size
+        m = metrics.current()
+        if m is not None:
+            m.count("mpi.messages")
+            m.count("mpi.wire_bytes", size)
+            m.observe("mpi.msg_bytes", size, MSG_BYTES_EDGES)
         pair = (self.rank, dest)
         seq = self.comm._pair_next_out.get(pair, 0)
         self.comm._pair_next_out[pair] = seq + 1
@@ -440,6 +450,9 @@ class CommHandle:
         races = self.comm.races
         if races is not None:
             races.note_collective(self.rank, op)
+        m = metrics.current()
+        if m is not None:
+            m.count(f"mpi.coll.{op}")
 
     def trace_collective_exit(self, op: str) -> None:
         """Report that this rank returned from collective ``op``.

@@ -16,6 +16,7 @@ from typing import Any, Callable, Generator, List, Optional
 
 from ..cluster import Machine, Node
 from ..errors import MPIError
+from ..obs import metrics
 from ..profiling import CpuProfiler
 from ..sim import Event, Kernel
 from .comm import CommHandle, Communicator
@@ -184,6 +185,14 @@ def mpi_run(machine: Machine, nprocs: int,
     if not run_kernel:
         return procs
     machine.kernel.run()
+    m = metrics.current()
+    if m is not None:
+        # Sampled once per job (never inside the event loop): the event
+        # count is the kernel's schedule sequence number, the simulated
+        # wall is its clock at quiescence.
+        m.count("sim.runs")
+        m.count("sim.events", machine.kernel._seq)
+        m.count("sim.time", machine.kernel.now)
     for p in procs:
         if not p.triggered:  # pragma: no cover - defensive
             raise MPIError(f"rank process {p!r} never finished")

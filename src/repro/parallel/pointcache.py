@@ -3,19 +3,24 @@
 A point is deterministic: its result is a pure function of (the code,
 the function, the kwargs).  The cache key is therefore::
 
-    sha256(code_digest | fn_path | canonical(kwargs) | check_flag)
+    sha256(code_digest | fn_path | canonical(kwargs) | check_flag | obs_flag)
 
 where ``code_digest`` hashes every ``*.py`` file of the installed
 ``repro`` package — *any* source edit invalidates *every* cached point
 (coarse on purpose: cross-module effects like a cost-model tweak must
 never serve stale rows).  The sanitizer flag is part of the key so a
-``--check`` run never "verifies" by reading back an unchecked result.
+``--check`` run never "verifies" by reading back an unchecked result;
+the observability flag likewise, so a ``REPRO_OBS=1`` run never serves
+an entry that carries no metric snapshot.
 
 Entries live under ``results/.pointcache/<k[:2]>/<k>.pkl`` as pickles
-of ``{"fn", "kwargs", "value"}``.  Unreadable or truncated entries are
-treated as misses and rewritten; the cache is safe to delete wholesale
-at any time (``python -m repro.experiments --clear-cache`` does
-exactly that).
+of ``{"fn", "kwargs", "value", "obs"}`` — ``obs`` being the point's
+deterministic metric snapshot (or ``None`` when recorded with
+observability off), replayed on every hit so a warm-cache run's merged
+metrics are byte-identical to the cold run's.  Unreadable or truncated
+entries are treated as misses and rewritten; the cache is safe to
+delete wholesale at any time
+(``python -m repro.experiments --clear-cache`` does exactly that).
 
 The cache is bounded: ``max_entries`` (default
 :data:`DEFAULT_MAX_ENTRIES`) caps the number of on-disk results, and a
@@ -109,6 +114,7 @@ class PointCache:
     def key(self, point: "SweepPoint") -> str:
         """The content-address of ``point`` (see module docstring)."""
         from ..check.flags import checks_enabled
+        from ..obs.metrics import obs_enabled
 
         digest = hashlib.sha256()
         digest.update(code_digest().encode())
@@ -116,14 +122,22 @@ class PointCache:
         for name, value in point.kwargs:
             digest.update(f"|{name}={_canonical(value)}".encode())
         digest.update(b"|check=1" if checks_enabled() else b"|check=0")
+        digest.update(b"|obs=1" if obs_enabled() else b"|obs=0")
         return digest.hexdigest()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, point: "SweepPoint") -> Tuple[bool, Optional[Any]]:
-        """``(hit, value)`` — a corrupt or unreadable entry is a miss."""
+    def get(self, point: "SweepPoint"
+            ) -> Tuple[bool, Optional[Any], Optional[Any]]:
+        """``(hit, value, obs snapshot)`` — a corrupt or unreadable
+        entry is a miss.  The third element is the metric snapshot the
+        point recorded when it executed (``None`` for entries written
+        with observability off)."""
+        from ..obs import metrics
+
         path = self._path(self.key(point))
+        m = metrics.current()
         try:
             with path.open("rb") as fh:
                 entry = pickle.load(fh)
@@ -131,18 +145,26 @@ class PointCache:
         except (OSError, pickle.UnpicklingError, EOFError, KeyError,
                 AttributeError, ImportError, IndexError):
             self.misses += 1
-            return False, None
+            if m is not None:
+                m.count("parallel.cache.misses")
+            return False, None, None
         self.hits += 1
-        return True, value
+        if m is not None:
+            m.count("parallel.cache.hits")
+        return True, value, entry.get("obs")
 
-    def put(self, point: "SweepPoint", value: Any) -> None:
+    def put(self, point: "SweepPoint", value: Any,
+            obs: Optional[Any] = None) -> None:
         """Store one result (atomically: write-then-rename), evicting
-        oldest entries first when the cap would be exceeded."""
+        oldest entries first when the cap would be exceeded.  ``obs``
+        is the point's deterministic metric snapshot, replayed on every
+        later hit."""
         path = self._path(self.key(point))
         if self.max_entries is not None and not path.exists():
             self._evict_to(self.max_entries - 1)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"fn": point.fn, "kwargs": point.kwargs, "value": value}
+        entry = {"fn": point.fn, "kwargs": point.kwargs, "value": value,
+                 "obs": obs}
         tmp = path.with_suffix(".tmp")
         with tmp.open("wb") as fh:
             pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
@@ -155,10 +177,15 @@ class PointCache:
         excess = len(entries) - budget
         if excess <= 0:
             return
+        from ..obs import metrics
+
         entries.sort(key=lambda p: (p.stat().st_mtime, p))
+        m = metrics.current()
         for path in entries[:excess]:
             path.unlink()
             self.evictions += 1
+            if m is not None:
+                m.count("parallel.cache.evictions")
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -23,20 +23,33 @@ contract:
   text (never as a possibly-unpicklable exception object) and re-raised
   here as :class:`PointError` naming the function, index and kwargs of
   the failing point, so it can be replayed exactly with ``jobs=1``.
+* **Observability propagation** — with ``REPRO_OBS`` on, every point
+  executes inside its own :func:`repro.obs.metrics.capture_point`
+  scope (serially here, or inside a worker); the per-point snapshots —
+  freshly captured, shipped back in the outcome tuple, or replayed
+  from the point cache — merge into the parent registry **in point
+  order**, so the merged metrics are bit-identical whatever the job
+  count or cache temperature.
 """
 
 from __future__ import annotations
 
 import os
 import shlex
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+from ..obs import metrics
 from .worker import execute_point, init_worker, resolve
 
 #: Cap applied by :func:`default_jobs`; sweeps rarely have more points.
 _MAX_DEFAULT_JOBS = 8
+
+#: Bucket edges (seconds) for the volatile per-point host-wall
+#: histogram ``parallel.point_wall``.
+POINT_WALL_EDGES = (0.01, 0.1, 1.0, 10.0, 60.0)
 
 
 class PointError(ReproError):
@@ -171,33 +184,59 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
     if jobs == 0:
         jobs = default_jobs()
     results: List[Any] = [None] * len(points)
+    #: point index -> deterministic metric snapshot (cache replay,
+    #: serial capture or worker shipment) — merged in point order below.
+    deltas: Dict[int, Any] = {}
     pending: List[int] = []
     for i, point in enumerate(points):
         if cache is not None:
-            hit, value = cache.get(point)
+            hit, value, obs = cache.get(point)
             if hit:
                 results[i] = value
+                if obs is not None:
+                    deltas[i] = obs
                 continue
         pending.append(i)
 
     if pending:
         if jobs <= 1 or len(pending) == 1:
             for i in pending:
-                results[i] = _run_serial(points[i], i)
+                t0 = time.perf_counter()  # repro: allow[wallclock] — volatile host metric, never ordering
+                with metrics.capture_point() as cap:
+                    results[i] = _run_serial(points[i], i)
+                wall = time.perf_counter() - t0  # repro: allow[wallclock] — volatile host metric, never ordering
+                snap = cap.snapshot()
+                if snap is not None:
+                    deltas[i] = snap
+                m = metrics.current()
+                if m is not None:
+                    m.observe("parallel.point_wall", wall, POINT_WALL_EDGES)
         else:
-            results_by_index = _run_pool(points, pending, jobs)
+            results_by_index, snaps_by_index = _run_pool(points, pending,
+                                                         jobs)
             for i, value in results_by_index.items():
                 results[i] = value
+            deltas.update(snaps_by_index)
         if cache is not None:
             for i in pending:
-                cache.put(points[i], results[i])
+                cache.put(points[i], results[i], obs=deltas.get(i))
+
+    reg = metrics.current()
+    if reg is not None:
+        # Point order, not completion order: gauges are last-write-wins
+        # so merge order is part of the bit-identity contract.
+        for i in range(len(points)):
+            snap = deltas.get(i)
+            if snap:
+                reg.merge(snap)
     return results
 
 
 def _run_pool(points: Sequence[SweepPoint], pending: Sequence[int],
-              jobs: int) -> Dict[int, Any]:
+              jobs: int) -> Tuple[Dict[int, Any], Dict[int, Any]]:
     """Fan the pending points over a spawn pool; see module docstring
-    for the safety contract."""
+    for the safety contract.  Returns ``(results, obs snapshots)``,
+    both keyed by point index."""
     import multiprocessing
 
     from ..check.flags import checks_enabled, races_enabled, shake_seed
@@ -207,9 +246,10 @@ def _run_pool(points: Sequence[SweepPoint], pending: Sequence[int],
     workers = min(jobs, len(pending))
     with ctx.Pool(workers, initializer=init_worker,
                   initargs=(checks_enabled(), races_enabled(),
-                            shake_seed())) as pool:
+                            shake_seed(), metrics.obs_enabled())) as pool:
         outcomes = pool.map(execute_point, payloads)
     results: Dict[int, Any] = {}
+    snaps: Dict[int, Any] = {}
     for i, outcome in zip(pending, outcomes):
         status = outcome[0]
         if status == "ok":
@@ -221,8 +261,10 @@ def _run_pool(points: Sequence[SweepPoint], pending: Sequence[int],
                 from ..check.races import report_finding
                 for finding in outcome[2]:
                     report_finding(finding)
+            if len(outcome) > 3 and outcome[3] is not None:
+                snaps[i] = outcome[3]
         else:
             _status, exc_type, exc_msg, tb_text = outcome
             raise PointError(points[i], i, f"{exc_type}: {exc_msg}",
                              worker_traceback=tb_text)
-    return results
+    return results, snaps

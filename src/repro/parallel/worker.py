@@ -35,39 +35,46 @@ def resolve(fn_path: str) -> Any:
 
 
 def init_worker(checks_on: bool, races_on: bool = False,
-                shake: Any = None) -> None:
+                shake: Any = None, obs_on: bool = False) -> None:
     """Pool initializer: propagate the parent's sanitizer state.
 
-    ``enable_checks``/``enable_races``/``set_shake_seed`` are
-    process-local state; the ``REPRO_CHECK``/``REPRO_RACES``/
-    ``REPRO_SHAKE`` environment variables are inherited by spawn, but a
-    programmatic override scope in the parent (e.g. ``--check`` or
-    ``--races`` on a CLI) is not — so the parent captures the flags at
-    submit time and every worker re-applies them here.
+    ``enable_checks``/``enable_races``/``set_shake_seed``/``enable_obs``
+    are process-local state; the ``REPRO_CHECK``/``REPRO_RACES``/
+    ``REPRO_SHAKE``/``REPRO_OBS`` environment variables are inherited by
+    spawn, but a programmatic override scope in the parent (e.g.
+    ``--check`` or ``--obs`` on a CLI) is not — so the parent captures
+    the flags at submit time and every worker re-applies them here.
     """
     from ..check.flags import enable_checks, enable_races, set_shake_seed
+    from ..obs.metrics import enable_obs
 
     enable_checks(checks_on)
     enable_races(races_on)
     set_shake_seed(shake)
+    enable_obs(obs_on)
 
 
 def execute_point(payload: Tuple[str, Tuple[Tuple[str, Any], ...]]
                   ) -> Tuple[Any, ...]:
     """Run one point; always return a picklable outcome tuple.
 
-    ``("ok", value, race_findings)`` on success, else
+    ``("ok", value, race_findings, obs_snapshot)`` on success, else
     ``("error", exc_type_name, message, traceback_text)``.  The third
     element drains this worker's race-finding registry (always empty
     unless the parent enabled race tracking): findings are plain frozen
     dataclasses, so they cross the pool as data and the parent re-files
-    them.
+    them.  The fourth element is the point's deterministic metric
+    snapshot (``None`` with observability off): each point executes
+    inside its own capture scope, so the parent can merge snapshots in
+    point order and reproduce the serial registry bit-for-bit.
     """
     fn_path, kwargs_items = payload
     try:
-        value = resolve(fn_path)(**dict(kwargs_items))
+        from ..obs import metrics
+        with metrics.capture_point() as cap:
+            value = resolve(fn_path)(**dict(kwargs_items))
         from ..check.races import drain_findings
-        return ("ok", value, tuple(drain_findings()))
+        return ("ok", value, tuple(drain_findings()), cap.snapshot())
     except Exception as exc:  # noqa: BLE001 - shipped back, not hidden
         return ("error", type(exc).__name__, str(exc),
                 traceback.format_exc())

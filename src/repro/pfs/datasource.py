@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import PFSError
+from ..obs import metrics
 
 #: Elements per cached generation block (2 MiB of float64).  Aligned
 #: blocks make every read of the same file region hit the same cache
@@ -56,12 +57,17 @@ class BlockCache:
 
     def get(self, key: Tuple) -> Optional[np.ndarray]:
         """The cached block for ``key`` (marking it recently used)."""
+        m = metrics.current()
         blk = self._blocks.get(key)
         if blk is None:
             self.misses += 1
+            if m is not None:
+                m.count("pfs.blockcache.misses")
             return None
         self._blocks.move_to_end(key)
         self.hits += 1
+        if m is not None:
+            m.count("pfs.blockcache.hits")
         return blk
 
     def put(self, key: Tuple, block: np.ndarray) -> None:
@@ -73,9 +79,14 @@ class BlockCache:
             self._nbytes -= old.nbytes
         self._blocks[key] = block
         self._nbytes += block.nbytes
+        m = metrics.current()
         while self._nbytes > self.capacity_bytes:
             _key, evicted = self._blocks.popitem(last=False)
             self._nbytes -= evicted.nbytes
+            if m is not None:
+                m.count("pfs.blockcache.evictions")
+        if m is not None:
+            m.gauge("pfs.blockcache.bytes", self._nbytes)
 
     def clear(self) -> None:
         """Drop every cached block (counters are kept)."""

@@ -13,6 +13,7 @@ from typing import Generator
 
 from ..config import CostModel
 from ..errors import TransientIOError
+from ..obs import metrics
 from ..sim import Kernel, Resource
 
 
@@ -66,12 +67,15 @@ class OST:
             # orders holders, so a clean run records no conflict here —
             # bypassing the resource would surface as a shared-state race.
             tracker.access(f"ost:{self.index}", write=True)
+        m = metrics.current()
         try:
             if fault_fail:
                 # A failing request occupies the device for the seek
                 # before the EIO surfaces, like a real timed-out disk op.
                 self.busy_time += self.cost.ost_seek
                 self.requests_served += 1
+                if m is not None:
+                    m.count("pfs.ost.requests")
                 yield self.kernel.timeout(self.cost.ost_seek)
                 raise TransientIOError(
                     f"injected transient EIO at OST {self.index}")
@@ -79,6 +83,9 @@ class OST:
             self.busy_time += duration
             self.bytes_served += nbytes
             self.requests_served += 1
+            if m is not None:
+                m.count("pfs.ost.requests")
+                m.count("pfs.ost.bytes", nbytes)
             yield self.kernel.timeout(duration)
         finally:
             self._server.release(req)

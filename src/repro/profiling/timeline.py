@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ReproError
+from ..obs import metrics
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,9 @@ class PhaseTimeline:
         if end < start:
             raise ReproError(f"phase ends before it starts: [{start}, {end}]")
         self.samples.append(PhaseSample(rank, iteration, phase, start, end))
+        m = metrics.current()
+        if m is not None:
+            m.count(f"sim.phase.{phase}", end - start)
 
     def phases(self) -> List[str]:
         """Distinct phase names, in first-seen order."""

@@ -1,0 +1,39 @@
+"""Small instrumented jobs shared by the observability tests.
+
+Module-level (not fixtures) so the sweep-determinism tests can also
+name them by dotted path across the spawn boundary.
+"""
+
+import numpy as np
+
+from repro.cluster import Machine
+from repro.config import small_test_machine
+from repro.dataspace import DatasetSpec, block_partition, full_selection
+from repro.io import AccessRequest, collective_read
+from repro.mpi import mpi_run
+from repro.sim import Kernel
+
+NPROCS = 4
+
+
+def tiny_collective_job(shape=(4, 8, 8)):
+    """One collective read over every instrumented layer; returns the
+    per-rank partial sums (deterministic for a given shape)."""
+    machine = Machine(Kernel(), small_test_machine(nodes=2,
+                                                   cores_per_node=4))
+    spec = DatasetSpec(shape, np.float64, name="obs")
+    file = machine.fs.create_procedural_file("obs.nc", spec.n_elements)
+    parts = block_partition(full_selection(spec), NPROCS, axis=1)
+
+    def body(ctx):
+        request = AccessRequest.from_subarray(spec, parts[ctx.rank])
+        buf = yield from collective_read(ctx, file, request)
+        return float(np.asarray(request.as_array(buf)).sum())
+
+    return mpi_run(machine, NPROCS, body)
+
+
+def job_sum(rows):
+    """Sweep-point wrapper: run the tiny job scaled by ``rows`` and
+    return the total (a pure function of ``rows``)."""
+    return sum(tiny_collective_job(shape=(rows, 8, 8)))
