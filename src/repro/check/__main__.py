@@ -13,7 +13,7 @@ Two stages, both on by default:
    one) — so the protocol verifier, the plan sanitizers, and the
    recovery-coverage check run against real schedules.
 
-Two opt-in stages each replace both:
+Three opt-in stages each replace both:
 
 * ``--chaos [N]`` runs the end-to-end data-integrity campaign of
   :mod:`repro.check.chaos` — ``N`` seeded jobs sweeping corruption
@@ -26,9 +26,18 @@ Two opt-in stages each replace both:
   vector-clock race tracker (``REPRO_RACES``) and is re-run under
   ``--shake K`` perturbed event schedules, asserting zero race
   findings and bit-identical data results across schedules.
+* ``--crash [N]`` runs the preemption campaign of
+  :mod:`repro.check.crash` — ``N`` seeded drills that SIGKILL workers
+  mid-point, hang points past their deadline, and murder whole sweep
+  and chaos runs between journal writes, asserting that supervised
+  retry and ``--resume`` recover every one bit-identically.
+
+An interrupted or killed ``--chaos`` campaign leaves a run journal
+behind; rerun it with ``--resume`` to replay the completed jobs and
+finish with byte-identical output.
 
 Exit status: 0 clean, 1 findings/sanitizer/campaign failure, 2 usage
-error.
+error (130 when a campaign is interrupted by SIGINT/SIGTERM).
 
 Usage::
 
@@ -37,6 +46,8 @@ Usage::
     python -m repro.check --static-only --require-docstrings src/repro
     python -m repro.check --chaos 25                # integrity campaign
     python -m repro.check --chaos 8 --chaos-seed 100
+    python -m repro.check --chaos 25 --resume       # resume a killed campaign
+    python -m repro.check --crash 8                 # preemption drills
     python -m repro.check --races --shake 4         # race + shake battery
     python -m repro.check --list-rules
 """
@@ -257,6 +268,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         metavar="SEED",
                         help="base seed for the chaos campaign "
                              "(job i uses SEED + i; default 0)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted --chaos campaign "
+                             "from its run journal (completed jobs are "
+                             "replayed, not re-simulated; output stays "
+                             "byte-identical)")
+    parser.add_argument("--crash", type=int, nargs="?", const=8,
+                        default=None, metavar="N",
+                        help="run only the crash/preemption campaign "
+                             "(N seeded kill-and-recover drills over the "
+                             "sweep supervisor and run journal; "
+                             "default 8)")
+    parser.add_argument("--crash-seed", type=int, default=0,
+                        metavar="SEED",
+                        help="base seed for the crash campaign "
+                             "(drill i uses SEED + i; default 0)")
     parser.add_argument("--races", action="store_true",
                         help="run the static lint plus the race/schedule "
                              "battery: every scenario under the "
@@ -294,9 +320,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("--static-only and --smoke-only are mutually exclusive",
               file=sys.stderr)
         return 2
-    if args.chaos is not None and args.races:
-        print("--chaos and --races are mutually exclusive", file=sys.stderr)
+    exclusive = [flag for flag, on in (("--chaos", args.chaos is not None),
+                                       ("--races", args.races),
+                                       ("--crash", args.crash is not None))
+                 if on]
+    if len(exclusive) > 1:
+        print(f"{' and '.join(exclusive)} are mutually exclusive",
+              file=sys.stderr)
         return 2
+    if args.resume and args.chaos is None:
+        print("--resume only applies to --chaos", file=sys.stderr)
+        return 2
+    if args.crash is not None:
+        if args.static_only or args.smoke_only:
+            print("--crash cannot be combined with --static-only or "
+                  "--smoke-only", file=sys.stderr)
+            return 2
+        if args.crash < 1:
+            print(f"--crash needs a positive drill count, got {args.crash}",
+                  file=sys.stderr)
+            return 2
+        from ..obs import metrics
+        from .crash import run_campaign as run_crash_campaign
+        metrics.reset()
+        status, recovery = run_crash_campaign(
+            args.crash, base_seed=args.crash_seed, quiet=args.quiet)
+        if metrics.obs_enabled():
+            from ..obs.manifest import write_manifest
+            path = write_manifest("crash", config={
+                "n": args.crash, "base_seed": args.crash_seed},
+                recovery=recovery)
+            if not args.quiet:
+                print(f"run manifest: {path}")
+        return status
     if args.chaos is not None:
         if args.static_only or args.smoke_only:
             print("--chaos cannot be combined with --static-only or "
@@ -306,17 +362,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"--chaos needs a positive run count, got {args.chaos}",
                   file=sys.stderr)
             return 2
+        from ..errors import SweepInterrupted
         from ..obs import metrics
+        from ..parallel import RunJournal, journal_root
         from .chaos import run_campaign
         metrics.reset()
-        status = run_campaign(args.chaos, base_seed=args.chaos_seed,
-                              quiet=args.quiet, jobs=args.jobs)
+        journal = RunJournal(journal_root(
+            f"chaos-n{args.chaos}-seed{args.chaos_seed}"))
+        if not args.resume:
+            journal.reset()
+        elif journal.entry_count() and not args.quiet:
+            # Resume notes go to stderr: a resumed campaign's stdout is
+            # byte-identical to an uninterrupted run's.
+            print(f"repro.check chaos: resuming "
+                  f"({journal.entry_count()} journaled job(s))",
+                  file=sys.stderr)
+        resume_cmd = (f"python -m repro.check --chaos {args.chaos} "
+                      f"--chaos-seed {args.chaos_seed} --resume")
+        try:
+            status = run_campaign(args.chaos, base_seed=args.chaos_seed,
+                                  quiet=args.quiet, jobs=args.jobs,
+                                  journal=journal, resume_hint=resume_cmd)
+        except SweepInterrupted as exc:
+            print(f"repro.check chaos: {exc}", file=sys.stderr)
+            return 130
         if metrics.obs_enabled():
             from ..obs.manifest import write_manifest
             path = write_manifest("chaos", config={
                 "n": args.chaos, "base_seed": args.chaos_seed})
             if not args.quiet:
                 print(f"run manifest: {path}")
+        journal.discard()
         return status
     if args.races:
         if args.static_only or args.smoke_only:

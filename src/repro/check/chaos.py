@@ -208,7 +208,7 @@ def run_point(index: int, base_seed: int) -> Tuple[str, object, int, int]:
 
 
 def run_campaign(n: int, base_seed: int = 0, quiet: bool = False,
-                 jobs: int = 1) -> int:
+                 jobs: int = 1, journal=None, resume_hint: str = "") -> int:
     """Run ``n`` chaos jobs; returns a process exit status (0 clean).
 
     Job ``i`` uses scenario ``i mod 4``, corruption rate
@@ -220,6 +220,13 @@ def run_campaign(n: int, base_seed: int = 0, quiet: bool = False,
     ``jobs`` fans the campaign out over worker processes (0 = one per
     core); verdicts are collected and printed in job order, so the
     output is byte-identical to a serial run.
+
+    ``journal`` (a :class:`~repro.parallel.journal.RunJournal`) makes
+    the campaign crash-resumable: every completed job is recorded
+    durably, a rerun over the same journal replays recorded jobs
+    instead of re-simulating them, and the verdict stream stays
+    byte-identical either way.  ``resume_hint`` is the command a
+    SIGINT/SIGTERM report names for resuming.
     """
     from ..parallel import SweepPoint, run_sweep
 
@@ -227,7 +234,8 @@ def run_campaign(n: int, base_seed: int = 0, quiet: bool = False,
                               label=f"chaos#{i}", index=i,
                               base_seed=base_seed)
               for i in range(n)]
-    verdicts = run_sweep(points, jobs=jobs)
+    verdicts = run_sweep(points, jobs=jobs, journal=journal,
+                         resume_hint=resume_hint)
     failures: List[str] = []
     for label, failure, injected, detected in verdicts:
         if failure is not None:

@@ -76,6 +76,38 @@ class CollectiveComputingError(ReproError):
     inconsistent ObjectIO across ranks, reduction shape mismatch)."""
 
 
+class SweepInterrupted(ReproError):
+    """A sweep was interrupted (SIGINT/SIGTERM) before every point ran.
+
+    Raised by :func:`repro.parallel.run_sweep` after a clean teardown:
+    worker processes are terminated, and every point that completed
+    before the signal is already journaled (the run journal is written
+    point-by-point with atomic replaces, so there is nothing left to
+    flush).  The message reports progress and, when the caller supplied
+    one, the exact resume command.
+    """
+
+    def __init__(self, completed: int, total: int, signame: str = "SIGINT",
+                 resume_hint: str = "") -> None:
+        self.completed = completed
+        self.total = total
+        self.signame = signame
+        self.resume_hint = resume_hint
+        detail = (f"sweep interrupted by {signame} after {completed} of "
+                  f"{total} point(s); completed points are journaled")
+        if resume_hint:
+            detail += f"\n  resume with: {resume_hint}"
+        else:
+            detail += " (no resume command supplied by the caller)"
+        super().__init__(detail)
+
+    def __reduce__(self):
+        # Default exception pickling calls ``cls(*args)``, which does
+        # not match this constructor; rebuild from the fields.
+        return (self.__class__, (self.completed, self.total, self.signame,
+                                 self.resume_hint))
+
+
 class RaceError(ReproError):
     """Raised by the happens-before race detector
     (:mod:`repro.check.races`) when a run left race findings behind:

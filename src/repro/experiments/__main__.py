@@ -56,9 +56,15 @@ def main(argv=None) -> int:
                         help="enable the metrics registry (same as "
                              "REPRO_OBS=1) and write a run manifest "
                              "results/<id>/manifest.json per experiment")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted run from its run "
+                             "journal (results/.journals/<id>/): "
+                             "completed sweep points are replayed, not "
+                             "re-simulated; output stays byte-identical")
     args = parser.parse_args(argv)
+    from ..errors import SweepInterrupted
     from ..obs import metrics
-    from ..parallel import PointCache
+    from ..parallel import PointCache, RunJournal, journal_root
     if args.obs:
         # Process-wide, not a with_sanitizers override scope: the
         # registry must outlive the run so the manifest below sees it.
@@ -84,14 +90,43 @@ def main(argv=None) -> int:
         import pathlib
         outdir = pathlib.Path(args.outdir)
         outdir.mkdir(parents=True, exist_ok=True)
+    def resume_command(name: str) -> str:
+        parts = ["python -m repro.experiments", name]
+        for flag, on in (("--quick", args.quick), ("--check", args.check),
+                         ("--races", args.races), ("--obs", args.obs),
+                         ("--no-cache", args.no_cache)):
+            if on:
+                parts.append(flag)
+        if args.jobs != 1:
+            parts.append(f"--jobs {args.jobs}")
+        parts.append("--resume")
+        return " ".join(parts)
+
     for name in targets:
         t0 = time.time()  # repro: allow[wallclock] — host-side progress report
         if cache is not None:
             cache.hits = cache.misses = cache.evictions = 0
         metrics.reset()
-        result = registry.run(name, check=True if args.check else None,
-                              races=True if args.races else None,
-                              quick=args.quick, jobs=args.jobs, cache=cache)
+        # One crash-consistent journal per experiment id: a fresh run
+        # starts it empty, --resume replays whatever a killed or
+        # interrupted run left behind, and a clean finish discards it.
+        journal = RunJournal(journal_root(name))
+        if not args.resume:
+            journal.reset()
+        elif journal.entry_count():
+            # Resume notes go to stderr: a resumed run's stdout is
+            # byte-identical to an uninterrupted run's.
+            print(f"[{name}: resuming, {journal.entry_count()} journaled "
+                  f"point(s)]", file=sys.stderr)
+        try:
+            result = registry.run(name, check=True if args.check else None,
+                                  races=True if args.races else None,
+                                  quick=args.quick, jobs=args.jobs,
+                                  cache=cache, journal=journal)
+        except SweepInterrupted as exc:
+            print(f"[{name}] {exc}", file=sys.stderr)
+            print(f"  resume with: {resume_command(name)}", file=sys.stderr)
+            return 130
         if args.csv:
             print(result.to_csv())
         else:
@@ -106,6 +141,7 @@ def main(argv=None) -> int:
                 "experiment": name, "quick": bool(args.quick),
                 "check": bool(args.check), "races": bool(args.races)})
             print(f"run manifest: {mpath}")
+        journal.discard()
         # The note renders in every mode — serial, pooled, or with the
         # cache disabled — so run logs always say what the cache did.
         cache_note = (f", point cache {cache.stats()}"

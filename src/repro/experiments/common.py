@@ -71,7 +71,8 @@ def with_sanitizers(run_fn: Callable) -> Callable:
 
 
 def sweep(fn_path: str, point_kwargs: Sequence[Dict[str, Any]], *,
-          jobs: int = 1, cache: Optional[Any] = None) -> List[Any]:
+          jobs: int = 1, cache: Optional[Any] = None,
+          journal: Optional[Any] = None) -> List[Any]:
     """Run an experiment's sweep points through the parallel engine.
 
     Every ``figNN_*.run`` entry point goes through here: it builds its
@@ -80,13 +81,16 @@ def sweep(fn_path: str, point_kwargs: Sequence[Dict[str, Any]], *,
     no pool, no pickling), and merges the returned payloads **in point
     order**, which is what keeps ``--jobs N`` output bit-identical to
     serial output.  ``cache`` is an optional
-    :class:`~repro.parallel.PointCache`.
+    :class:`~repro.parallel.PointCache`; ``journal`` an optional
+    :class:`~repro.parallel.RunJournal` recording every completed point
+    durably (the ``--resume`` path of the experiments CLI — entries are
+    content-keyed, so one journal safely covers every sweep of a run).
     """
     from ..parallel import SweepPoint, run_sweep
     points = [SweepPoint.make(fn_path, label=f"{fn_path.rsplit(':')[-1]}#{i}",
                               **kw)
               for i, kw in enumerate(point_kwargs)]
-    return run_sweep(points, jobs=jobs, cache=cache)
+    return run_sweep(points, jobs=jobs, cache=cache, journal=journal)
 
 
 def hopper_platform(nodes: int, *, cores_per_node: int = 24,

@@ -78,12 +78,13 @@ def points(iterations: int, cb_buffer_size: int) -> List[Dict[str, Any]]:
 
 @with_sanitizers
 def run(iterations: int = 40, cb_buffer_size: int = 256 * KiB, *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 1 at a scale of ~``iterations`` iterations per
     aggregator (the paper runs tens of thousands; the series' shape is
     iteration-count invariant)."""
     [(rows, read_total, shuffle_total, job_time)] = sweep(
-        _FN, points(iterations, cb_buffer_size), jobs=jobs, cache=cache)
+        _FN, points(iterations, cb_buffer_size), jobs=jobs, cache=cache, journal=journal)
     return ExperimentResult(
         experiment_id="fig1",
         title="I/O Profiling of Two-Phase Collective I/O "

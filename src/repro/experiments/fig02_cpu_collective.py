@@ -62,10 +62,11 @@ def points(iterations: int, bins: int) -> List[Dict[str, Any]]:
 
 @with_sanitizers
 def run(iterations: int = 30, bins: int = 16, *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 2 (user/sys/wait percentages over time)."""
     [(rows, overall, job_time)] = sweep(_FN, points(iterations, bins),
-                                        jobs=jobs, cache=cache)
+                                        jobs=jobs, cache=cache, journal=journal)
     return ExperimentResult(
         experiment_id="fig2",
         title="CPU Profiling of Two-Phase Collective I/O",

@@ -58,7 +58,8 @@ def points(iterations: int, bins: int) -> List[Dict[str, Any]]:
 
 @with_sanitizers
 def run(iterations: int = 30, bins: int = 16, *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 3 (user/sys/wait under independent I/O).
 
     ``iterations`` is interpreted as the same data-volume knob as
@@ -66,7 +67,7 @@ def run(iterations: int = 30, bins: int = 16, *,
     scale — only the I/O strategy differs.
     """
     [(rows, overall, job_time)] = sweep(_FN, points(iterations, bins),
-                                        jobs=jobs, cache=cache)
+                                        jobs=jobs, cache=cache, journal=journal)
     return ExperimentResult(
         experiment_id="fig3",
         title="CPU Profiling of Independent I/O",

@@ -77,13 +77,14 @@ def points(per_rank_mib: float, ratios: Sequence[Tuple[int, int]],
 @with_sanitizers
 def run(per_rank_mib: float = 2.0,
         ratios: Sequence[Tuple[int, int]] = RATIOS, *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 9 at ``per_rank_mib`` MiB per process (the
     paper reads an 800 GB dataset; speedup ratios are scale-invariant
     under the cost model, see EXPERIMENTS.md)."""
-    [t_io] = sweep(_CALIB_FN, [dict(per_rank_mib=per_rank_mib)], cache=cache)
+    [t_io] = sweep(_CALIB_FN, [dict(per_rank_mib=per_rank_mib)], cache=cache, journal=journal)
     payloads = sweep(_FN, points(per_rank_mib, ratios, t_io),
-                     jobs=jobs, cache=cache)
+                     jobs=jobs, cache=cache, journal=journal)
     rows: List[Tuple] = [row for row, _ in payloads]
     speedups: List[float] = [s for _, s in payloads]
     n = len(speedups)

@@ -73,15 +73,16 @@ def points(per_rank_mib: float, process_counts: Sequence[int],
 @with_sanitizers
 def run(per_rank_mib: float = 1.0,
         process_counts: Sequence[int] = PROCESS_COUNTS, *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 10 (scaled per-rank request size)."""
     # Calibrate the operator once, on the smallest configuration, and
     # keep it fixed — the analysis per element does not change with P.
     p0 = process_counts[0]
     [ops] = sweep(_CALIB_FN, [dict(per_rank_mib=per_rank_mib, p0=int(p0))],
-                  cache=cache)
+                  cache=cache, journal=journal)
     rows: List[Tuple] = sweep(_FN, points(per_rank_mib, process_counts, ops),
-                              jobs=jobs, cache=cache)
+                              jobs=jobs, cache=cache, journal=journal)
     speedups = [r[3] for r in rows]
     return ExperimentResult(
         experiment_id="fig10",

@@ -103,11 +103,12 @@ def points(total_mib_small: float,
 @with_sanitizers
 def run(total_mib_small: float = 48.0,
         process_counts: Sequence[int] = PROCESS_COUNTS, *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 11; ``total_mib_small`` stands in for the
     paper's 40 GB (the 80 GB series uses twice that)."""
     payloads = sweep(_FN, points(total_mib_small, process_counts),
-                     jobs=jobs, cache=cache)
+                     jobs=jobs, cache=cache, journal=journal)
     rows: List[Tuple] = [row for row, _ in payloads]
     io_costs: List[float] = [t for _, t in payloads]
     return ExperimentResult(

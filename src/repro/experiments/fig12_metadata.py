@@ -91,7 +91,8 @@ def points(scale: float,
 @with_sanitizers
 def run(scale: float = 1.0,
         buffer_sizes_mb: Sequence[int] = BUFFER_SIZES_MB, *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 12.
 
     ``scale`` shrinks the subset sizes *and* the swept buffer sizes
@@ -100,7 +101,7 @@ def run(scale: float = 1.0,
     """
     workload = _varied_subset_workload(NPROCS, scale)
     rows: List[Tuple] = sweep(_FN, points(scale, buffer_sizes_mb),
-                              jobs=jobs, cache=cache)
+                              jobs=jobs, cache=cache, journal=journal)
     meta = [r[1] for r in rows]
     return ExperimentResult(
         experiment_id="fig12",

@@ -140,17 +140,18 @@ def points(scale: float, sizes: Sequence[Tuple[int, float]], task: str,
 def run(scale: float = 0.04,
         sizes: Sequence[Tuple[int, float]] = SIZE_LABELS,
         task: str = "min_slp", *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 13 for ``task`` ("min_slp" or "max_wind")."""
     variable, _op_base = _task_spec(task)
     # Calibrate the operator weight once, on the smallest size: the scan
     # costs TARGET_RATIO x the ingestion time of its data.
     [ops] = sweep(_CALIB_FN,
                   [dict(scale=float(scale), fraction0=float(sizes[0][1]),
-                        task=task)], cache=cache)
+                        task=task)], cache=cache, journal=journal)
     op = _task_spec(task)[1].with_cost(ops)
     payloads = sweep(_FN, points(scale, sizes, task, ops),
-                     jobs=jobs, cache=cache)
+                     jobs=jobs, cache=cache, journal=journal)
     rows: List[Tuple] = [row for row, _ in payloads]
     speedups: List[float] = [s for _, s in payloads]
     check_note = ""

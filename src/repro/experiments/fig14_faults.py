@@ -128,12 +128,13 @@ def points(nprocs: int, per_rank_kib: int, fault_rates: Sequence[float],
 def run(nprocs: int = 48, per_rank_kib: int = 512,
         fault_rates: Sequence[float] = FAULT_RATES,
         seed: int = SEED, *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 14 (completion time and wire bytes vs injected
     fault rate, resilient CC vs resilient two-phase baseline)."""
     policy = RecoveryPolicy(retry=RetryPolicy(max_retries=6))
     payloads = sweep(_FN, points(nprocs, per_rank_kib, fault_rates, seed),
-                     jobs=jobs, cache=cache)
+                     jobs=jobs, cache=cache, journal=journal)
     rows: List[Tuple] = []
     reference: dict = {}
     for i, rate in enumerate(fault_rates):

@@ -140,13 +140,14 @@ def points(nprocs: int, per_rank_kib: int,
 def run(nprocs: int = 24, per_rank_kib: int = 64,
         corrupt_rates: Sequence[float] = CORRUPT_RATES,
         seed: int = SEED, *,
-        jobs: int = 1, cache: Any = None) -> ExperimentResult:
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate Figure 15 (completion time and wire bytes vs silent
     corruption rate, checksummed CC vs checksummed two-phase, verified
     bit-identical to the checksums-off fault-free run)."""
     policy = RecoveryPolicy(retry=RetryPolicy(max_retries=6))
     payloads = sweep(_FN, points(nprocs, per_rank_kib, corrupt_rates, seed),
-                     jobs=jobs, cache=cache)
+                     jobs=jobs, cache=cache, journal=journal)
     # The reference: checksums off, no faults.  Every checksummed row —
     # including the corrupted ones — must reproduce it bit-for-bit.
     _, _, _, _, cc_ref = payloads[0]

@@ -25,10 +25,11 @@ def points() -> List[Dict[str, Any]]:
 
 
 @with_sanitizers
-def run(*, jobs: int = 1, cache: Any = None) -> ExperimentResult:
+def run(*, jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
     """Regenerate the paper's Table I."""
     [(rows, n_projects, online_tb, offline_tb)] = sweep(
-        _FN, points(), jobs=jobs, cache=cache)
+        _FN, points(), jobs=jobs, cache=cache, journal=journal)
     return ExperimentResult(
         experiment_id="table1",
         title="Data Requirements of Representative INCITE Applications at ALCF",

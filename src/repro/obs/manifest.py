@@ -26,8 +26,16 @@ Schema (``"schema": 1``)::
       "code_digest": "<sha256 of every repro/**/*.py>",
       "metrics": {"counters": {...}, "gauges": {...},
                    "histograms": {...}},
-      "ledger": {"injected": int, "detected": int, "recovered": int}
+      "ledger": {"injected": int, "detected": int, "recovered": int},
+      "recovery": {"worker_deaths": int, ...}   # optional; crash runs
     }
+
+The optional ``recovery`` section summarizes supervised-sweep recovery
+(deaths, retries, deadline kills, resumed/executed/cached points).
+Only the crash campaign — whose kill plan is seeded, making the
+summary deterministic — embeds it; ordinary figure/chaos manifests
+never do, which is what keeps a crashed-and-resumed run's manifest
+byte-identical to an uninterrupted one's.
 """
 
 from __future__ import annotations
@@ -65,13 +73,24 @@ def ledger_summary(snapshot: Dict[str, Any]) -> Dict[str, int]:
 
 
 def build_manifest(run: str, config: Optional[Dict[str, Any]] = None,
-                   registry: Optional[metrics.MetricsRegistry] = None
+                   registry: Optional[metrics.MetricsRegistry] = None,
+                   recovery: Optional[Dict[str, int]] = None
                    ) -> Dict[str, Any]:
     """Assemble the manifest dict for ``run`` from the live registry.
 
     ``registry`` defaults to the process registry
     (:func:`repro.obs.metrics.current`); building a manifest with
     observability off is a caller bug and raises.
+
+    ``recovery``, when given, lands as an optional top-level section
+    summarizing supervised-sweep recovery (worker deaths, retries,
+    deadline kills, resumed/executed/cached point counts — see
+    :data:`repro.check.crash.RECOVERY_KEYS`).  Only runs whose recovery
+    accounting is itself deterministic embed it (the crash campaign's
+    seeded kill plan); figure and chaos manifests never carry one, so
+    a crashed-and-resumed run's manifest stays byte-identical to an
+    uninterrupted run's.  ``python -m repro.obs.report`` checks the
+    section's invariants when present.
     """
     registry = registry if registry is not None else metrics.current()
     if registry is None:
@@ -82,7 +101,7 @@ def build_manifest(run: str, config: Optional[Dict[str, Any]] = None,
     from ..parallel.pointcache import code_digest
 
     snapshot = registry.snapshot()
-    return {
+    manifest = {
         "schema": SCHEMA_VERSION,
         "run": run,
         "config": dict(config or {}),
@@ -96,6 +115,10 @@ def build_manifest(run: str, config: Optional[Dict[str, Any]] = None,
         "metrics": snapshot,
         "ledger": ledger_summary(snapshot),
     }
+    if recovery is not None:
+        manifest["recovery"] = {k: int(v) for k, v in
+                                sorted(recovery.items())}
+    return manifest
 
 
 def manifest_json(manifest: Dict[str, Any]) -> str:
@@ -106,10 +129,10 @@ def manifest_json(manifest: Dict[str, Any]) -> str:
 
 def write_manifest(run: str, config: Optional[Dict[str, Any]] = None,
                    root: Path = DEFAULT_ROOT,
-                   registry: Optional[metrics.MetricsRegistry] = None
-                   ) -> Path:
+                   registry: Optional[metrics.MetricsRegistry] = None,
+                   recovery: Optional[Dict[str, int]] = None) -> Path:
     """Build and write ``<root>/<run>/manifest.json``; returns the path."""
-    manifest = build_manifest(run, config, registry)
+    manifest = build_manifest(run, config, registry, recovery=recovery)
     path = Path(root) / run / "manifest.json"
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(manifest_json(manifest))

@@ -18,7 +18,12 @@ Every invocation also cross-checks the manifest invariants:
   nothing reached the reduce-time provenance check, and detections
   were accompanied by recovery;
 * the stored ledger summary equals the one derived from the
-  ``faults.*`` counters.
+  ``faults.*`` counters;
+* a ``recovery`` section, when present (crash-campaign manifests),
+  satisfies the supervised-sweep accounting invariants: every count
+  non-negative, ``point_retries >= worker_deaths``,
+  ``deadline_kills <= point_retries``, and ``points_resumed +
+  points_executed + points_cached == points_total``.
 
 Exit status: 0 clean, 1 invariant violation, 2 usage/load error.
 """
@@ -108,6 +113,55 @@ def check_invariants(manifest: Dict[str, Any], origin: str = "manifest"
         violations.append(
             f"{origin}: stored ledger summary {stored} does not match "
             f"the one derived from the faults.* counters {derived}")
+
+    recovery = manifest.get("recovery")
+    if recovery is not None:
+        violations.extend(check_recovery(recovery, origin))
+    return violations
+
+
+def check_recovery(recovery: Dict[str, Any], origin: str = "manifest"
+                   ) -> List[str]:
+    """Violation messages for one ``recovery`` section (empty = clean).
+
+    The invariants of supervised-sweep recovery accounting:
+
+    * every count is non-negative;
+    * every worker death was retried (or surfaced as a hard failure,
+      which never produces a manifest): ``point_retries >=
+      worker_deaths``;
+    * a deadline kill is one flavor of retry: ``deadline_kills <=
+      point_retries``;
+    * recovery never invents or loses work: ``points_resumed +
+      points_executed + points_cached == points_total``.
+    """
+    violations: List[str] = []
+    for key, value in sorted(recovery.items()):
+        if isinstance(value, (int, float)) and value < 0:
+            violations.append(
+                f"{origin}: recovery count {key} is negative "
+                f"({_fmt(value)})")
+    deaths = recovery.get("worker_deaths", 0)
+    retries = recovery.get("point_retries", 0)
+    kills = recovery.get("deadline_kills", 0)
+    if retries < deaths:
+        violations.append(
+            f"{origin}: {_fmt(deaths)} worker death(s) but only "
+            f"{_fmt(retries)} retry(ies) — a death went unretried")
+    if kills > retries:
+        violations.append(
+            f"{origin}: {_fmt(kills)} deadline kill(s) exceed "
+            f"{_fmt(retries)} retry(ies) — a killed point was never "
+            f"re-executed")
+    total = recovery.get("points_total", 0)
+    accounted = (recovery.get("points_resumed", 0)
+                 + recovery.get("points_executed", 0)
+                 + recovery.get("points_cached", 0))
+    if accounted != total:
+        violations.append(
+            f"{origin}: resumed + executed + cached = {_fmt(accounted)} "
+            f"does not equal points_total = {_fmt(total)} — recovery "
+            f"lost or invented work")
     return violations
 
 
@@ -177,6 +231,12 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
     if any(v != "0" for _k, v in fault_rows):
         parts.append(_table(("fault ledger", "count"), fault_rows,
                             "Fault recovery"))
+
+    recovery = manifest.get("recovery")
+    if recovery:
+        rows = [(key, _fmt(value)) for key, value in sorted(recovery.items())]
+        parts.append(_table(("recovery count", "value"), rows,
+                            "Supervised-sweep recovery"))
 
     wall_rows = [(name, _fmt(counters[name])) for name in sorted(counters)
                  if name.startswith("sim.")]

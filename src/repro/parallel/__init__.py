@@ -18,18 +18,29 @@ This package is the engine that exploits that:
   picklable values.
 * :func:`~repro.parallel.sweep.run_sweep` — executes a list of points
   either in-process (``jobs=1``, the CI default: no pool, no pickling,
-  exactly the pre-parallel code path) or across a spawn-safe
-  ``multiprocessing`` pool, and returns results **in point order** so
-  every figure row, chaos verdict and ledger summary is bit-identical
-  to the serial run.
+  exactly the pre-parallel code path) or across spawn-safe supervised
+  workers, and returns results **in point order** so every figure row,
+  chaos verdict and ledger summary is bit-identical to the serial run.
+* :mod:`~repro.parallel.supervisor` — the supervised execution loop
+  behind ``jobs > 1``: detects worker deaths (SIGKILL/OOM) and
+  per-point deadline overruns, re-executes affected points under a
+  deterministic bounded :class:`~repro.parallel.supervisor.RetrySpec`
+  (backoff recorded, never slept), and optionally hedges stragglers.
 * :class:`~repro.parallel.sweep.PointError` — raised when a point
-  fails; it names the point (function, index, kwargs) so the failure
+  fails (or exhausts its crash/hang retries); it names the point
+  (function, index, kwargs) and every prior attempt so the failure
   replays exactly with ``jobs=1``.
 * :class:`~repro.parallel.pointcache.PointCache` — an optional
   persistent on-disk cache (``results/.pointcache/``) keyed by the
   point's function, canonical kwargs and a digest of the package
   source, so re-running an unchanged sweep is near-instant and any
   source edit invalidates everything.
+* :class:`~repro.parallel.journal.RunJournal` — a per-run,
+  crash-consistent journal of completed points (same content address
+  as the cache, atomic writes) that backs ``--resume`` on both CLIs: a
+  SIGKILLed worker, a dead parent or a Ctrl-C loses only in-flight
+  points, and the resumed run's merged output is byte-identical to an
+  uninterrupted one.
 
 Paper mapping
 -------------
@@ -41,14 +52,25 @@ reproduces the figures.
 
 from __future__ import annotations
 
-from .pointcache import PointCache, code_digest
+from ..errors import SweepInterrupted
+from .journal import DEFAULT_ROOT as JOURNAL_ROOT
+from .journal import RunJournal, journal_root
+from .pointcache import PointCache, code_digest, point_key
+from .supervisor import Attempt, RetrySpec
 from .sweep import PointError, SweepPoint, default_jobs, run_sweep
 
 __all__ = [
+    "Attempt",
+    "JOURNAL_ROOT",
     "PointCache",
     "PointError",
+    "RetrySpec",
+    "RunJournal",
+    "SweepInterrupted",
     "SweepPoint",
     "code_digest",
     "default_jobs",
+    "journal_root",
+    "point_key",
     "run_sweep",
 ]

@@ -86,6 +86,28 @@ def _canonical(value: Any) -> str:
     return f"{type(value).__name__}={value!r}"
 
 
+def point_key(point: "SweepPoint") -> str:
+    """The content-address of one sweep point.
+
+    ``sha256(code digest | fn | canonical kwargs | check flag | obs
+    flag)`` — shared by :class:`PointCache` and
+    :class:`~repro.parallel.journal.RunJournal`, so both stores
+    invalidate on any source edit and never replay an entry recorded
+    under different sanitizer/observability flags.
+    """
+    from ..check.flags import checks_enabled
+    from ..obs.metrics import obs_enabled
+
+    digest = hashlib.sha256()
+    digest.update(code_digest().encode())
+    digest.update(point.fn.encode())
+    for name, value in point.kwargs:
+        digest.update(f"|{name}={_canonical(value)}".encode())
+    digest.update(b"|check=1" if checks_enabled() else b"|check=0")
+    digest.update(b"|obs=1" if obs_enabled() else b"|obs=0")
+    return digest.hexdigest()
+
+
 class PointCache:
     """Filesystem-backed result cache for :func:`~repro.parallel.run_sweep`.
 
@@ -112,18 +134,8 @@ class PointCache:
         self.evictions = 0
 
     def key(self, point: "SweepPoint") -> str:
-        """The content-address of ``point`` (see module docstring)."""
-        from ..check.flags import checks_enabled
-        from ..obs.metrics import obs_enabled
-
-        digest = hashlib.sha256()
-        digest.update(code_digest().encode())
-        digest.update(point.fn.encode())
-        for name, value in point.kwargs:
-            digest.update(f"|{name}={_canonical(value)}".encode())
-        digest.update(b"|check=1" if checks_enabled() else b"|check=0")
-        digest.update(b"|obs=1" if obs_enabled() else b"|obs=0")
-        return digest.hexdigest()
+        """The content-address of ``point`` (see :func:`point_key`)."""
+        return point_key(point)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"

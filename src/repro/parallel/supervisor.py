@@ -1,0 +1,333 @@
+"""Supervised pool execution: crash/hang recovery for sweep points.
+
+The plain ``multiprocessing.Pool`` used by earlier versions of
+:func:`~repro.parallel.run_sweep` had a fatal blind spot: a worker
+SIGKILLed by the OOM killer (or a point that never returns) either
+wedges ``pool.map`` forever or poisons every in-flight task.  This
+module replaces it with an explicit supervision loop in the parent:
+
+* **one process per worker slot** — each slot is a ``spawn``-started
+  :func:`~repro.parallel.worker.worker_main` process holding one end of
+  a duplex pipe.  Slots persist across points (imports amortized), and
+  the pipe's task-id protocol attributes every outcome — and every
+  death — to the exact point that produced it.
+* **death detection** — the kernel closes a dead worker's pipe, which
+  wakes ``multiprocessing.connection.wait`` immediately; a liveness
+  sweep backstops pathological cases.  The affected point (and only
+  that point) is re-executed on a fresh worker.
+* **hang detection** — with a ``deadline``, a point that exceeds its
+  per-point wall-clock budget has its worker SIGKILLed and is retried
+  like a death (``parallel.deadline_kills``).
+* **deterministic bounded retry** — each crash/hang failure appends an
+  :class:`Attempt` with a *recorded* exponential-backoff figure
+  (:meth:`RetrySpec.backoff`); nothing ever sleeps, so a recovered
+  run's results and metrics stay bit-identical to an undisturbed one.
+  A point that fails ``max_retries + 1`` times raises
+  :class:`~repro.parallel.sweep.PointError` naming every attempt.
+* **hedging** — with ``hedge_after``, a straggler still running past
+  that many seconds is duplicated onto an idle slot; the first copy to
+  finish wins and the loser is killed.  Points are deterministic pure
+  functions and journal writes are atomic and content-keyed, so a
+  duplicated execution is harmless by construction.
+* **journaling** — every completed point is recorded to the caller's
+  :class:`~repro.parallel.journal.RunJournal` the moment it arrives,
+  which is what makes a killed *parent* resumable too.
+
+Results are returned keyed by point index; the sweep engine merges
+them in point order, so supervision never changes any output byte.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import metrics
+
+
+@dataclass(frozen=True)
+class RetrySpec:
+    """Bounded deterministic retry policy for crashed/hung points.
+
+    ``max_retries`` is the number of *re*-executions allowed per point
+    (so a point runs at most ``max_retries + 1`` times).  The backoff
+    schedule ``backoff_base * backoff_factor**(n-1)`` is **recorded**
+    in each :class:`Attempt` for the post-mortem, never slept: sleeping
+    would couple results to host timing, and the simulator's points
+    are pure functions for which immediate re-execution is always safe.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+
+    def backoff(self, attempt: int) -> float:
+        """The recorded backoff (seconds) for failure number ``attempt``."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One failed execution of a sweep point (picklable, for
+    :class:`~repro.parallel.sweep.PointError` post-mortems)."""
+
+    number: int
+    #: ``"worker-death"`` or ``"deadline"``.
+    kind: str
+    detail: str
+    #: The retry policy's recorded (never slept) backoff, seconds.
+    backoff: float
+
+    def format(self) -> str:
+        """One post-mortem line."""
+        return (f"attempt {self.number}: {self.kind} ({self.detail}); "
+                f"recorded backoff {self.backoff:g}s")
+
+
+class _Slot:
+    """One live worker process and what it is currently running."""
+
+    __slots__ = ("proc", "conn", "task", "hedge", "started")
+
+    def __init__(self, proc: Any, conn: Any) -> None:
+        self.proc = proc
+        self.conn = conn
+        #: Point index in flight on this slot (``None`` = idle).
+        self.task: Optional[int] = None
+        #: Whether the in-flight task is a hedged duplicate.
+        self.hedge = False
+        #: Host-monotonic dispatch time of the in-flight task.
+        self.started = 0.0
+
+
+def run_supervised(points: Sequence[Any], pending: Sequence[int],
+                   jobs: int, *, retry: Optional[RetrySpec] = None,
+                   deadline: Optional[float] = None,
+                   hedge_after: Optional[float] = None,
+                   journal: Optional[Any] = None,
+                   ) -> Tuple[Dict[int, Any], Dict[int, Any]]:
+    """Fan ``pending`` over supervised workers; see the module docstring.
+
+    Returns ``(results, obs snapshots)``, both keyed by point index.
+    Raises :class:`~repro.parallel.sweep.PointError` on a point that
+    raised, or that exhausted its crash/hang retries.  On
+    ``KeyboardInterrupt`` (the sweep engine converts SIGINT/SIGTERM to
+    it), every worker is killed before the exception propagates —
+    completed points are already journaled, so nothing is lost.
+    """
+    import multiprocessing
+    from multiprocessing.connection import wait as conn_wait
+
+    from ..check.flags import checks_enabled, races_enabled, shake_seed
+    from .sweep import PointError
+    from .worker import worker_main
+
+    retry = retry if retry is not None else RetrySpec()
+    ctx = multiprocessing.get_context("spawn")
+    flags = (checks_enabled(), races_enabled(), shake_seed(),
+             metrics.obs_enabled())
+    max_slots = min(jobs, len(pending))
+    m = metrics.current()
+
+    queue = deque(pending)
+    #: point index -> failure history (crash/hang attempts only).
+    attempts: Dict[int, List[Attempt]] = {i: [] for i in pending}
+    #: point index -> a hedge duplicate was already dispatched.
+    hedged: Dict[int, bool] = {}
+    results: Dict[int, Any] = {}
+    snaps: Dict[int, Any] = {}
+    slots: List[_Slot] = []
+
+    def spawn_slot() -> _Slot:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=worker_main,
+                           args=(child_conn,) + flags, daemon=True)
+        proc.start()
+        child_conn.close()  # so a worker death turns into EOF here
+        slot = _Slot(proc, parent_conn)
+        slots.append(slot)
+        return slot
+
+    def kill_slot(slot: _Slot) -> None:
+        if slot in slots:
+            slots.remove(slot)
+        try:
+            slot.proc.kill()
+        except (OSError, AttributeError):  # pragma: no cover - teardown
+            pass
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover - teardown
+            pass
+
+    def teardown() -> None:
+        for slot in list(slots):
+            kill_slot(slot)
+
+    def count(name: str) -> None:
+        if m is not None:
+            m.count(name)
+
+    def still_running_elsewhere(index: int) -> bool:
+        return any(s.task == index for s in slots)
+
+    def dispatch(slot: _Slot, index: int, hedge: bool = False) -> None:
+        slot.task = index
+        slot.hedge = hedge
+        slot.started = time.monotonic()  # repro: allow[wallclock] — host supervision deadline, never simulated ordering
+        point = points[index]
+        slot.conn.send((index, point.fn, point.kwargs))
+
+    def record_failure(slot: _Slot, index: int, kind: str,
+                       detail: str) -> None:
+        """One crash/hang on ``index``; requeue or raise when exhausted."""
+        if still_running_elsewhere(index):
+            return  # a hedged copy is still alive — not a failure yet
+        history = attempts[index]
+        number = len(history) + 1
+        history.append(Attempt(number, kind, detail,
+                               retry.backoff(number)))
+        if number > retry.max_retries:
+            teardown()
+            raise PointError(
+                points[index], index,
+                f"gave up after {number} attempt(s): last failure was "
+                f"{kind} ({detail})", attempts=tuple(history))
+        count("parallel.point_retries")
+        queue.append(index)
+
+    def handle_death(slot: _Slot) -> None:
+        index, was_idle = slot.task, slot.task is None
+        detail = (f"worker pid {slot.proc.pid} died "
+                  f"(exit code {slot.proc.exitcode})")
+        kill_slot(slot)
+        if was_idle or index in results:
+            return  # idle worker died, or a hedge raced a finished point
+        count("parallel.worker_deaths")
+        record_failure(slot, index, "worker-death", detail)
+
+    def handle_outcome(slot: _Slot, task_id: int,
+                       outcome: Tuple[Any, ...]) -> None:
+        slot.task, slot.hedge = None, False
+        if task_id in results:
+            return  # stale duplicate from a hedge loser
+        if outcome[0] != "ok":
+            _status, exc_type, exc_msg, tb_text = outcome
+            teardown()
+            raise PointError(points[task_id], task_id,
+                             f"{exc_type}: {exc_msg}",
+                             worker_traceback=tb_text,
+                             attempts=tuple(attempts[task_id]))
+        value = outcome[1]
+        results[task_id] = value
+        if len(outcome) > 2 and outcome[2]:
+            # Race findings recorded inside the worker: replay them into
+            # the parent registry, exactly as a serial run would file them.
+            from ..check.races import report_finding
+            for finding in outcome[2]:
+                report_finding(finding)
+        snap = outcome[3] if len(outcome) > 3 else None
+        if snap is not None:
+            snaps[task_id] = snap
+        if journal is not None:
+            journal.record(points[task_id], value, snap)
+        # Kill any slot still running a duplicate of this point (the
+        # hedge loser): its result is no longer wanted.
+        for other in list(slots):
+            if other is not slot and other.task == task_id:
+                kill_slot(other)
+
+    def next_timeout(busy: List[_Slot], now: float) -> float:
+        """Seconds until the earliest deadline/hedge trigger (capped)."""
+        horizon = 1.0  # liveness-backstop poll
+        for limit in (deadline, hedge_after):
+            if limit is None:
+                continue
+            for slot in busy:
+                horizon = min(horizon, slot.started + limit - now)
+        return max(horizon, 0.01)
+
+    try:
+        while any(i not in results for i in pending):
+            # Keep every slot busy: reuse idle slots, spawn up to jobs.
+            while queue:
+                idle = next((s for s in slots if s.task is None), None)
+                if idle is None and len(slots) < max_slots:
+                    idle = spawn_slot()
+                if idle is None:
+                    break
+                dispatch(idle, queue.popleft())
+            busy = [s for s in slots if s.task is not None]
+            if not busy:
+                continue  # everything just completed or was requeued
+            now = time.monotonic()  # repro: allow[wallclock] — host supervision deadline, never simulated ordering
+            by_conn = {s.conn: s for s in busy}
+            ready = conn_wait(list(by_conn), next_timeout(busy, now))
+            for conn in ready:
+                slot = by_conn[conn]
+                if slot not in slots:
+                    continue  # already killed this round (hedge loser)
+                try:
+                    task_id, outcome = conn.recv()
+                except (EOFError, OSError):
+                    handle_death(slot)
+                else:
+                    handle_outcome(slot, task_id, outcome)
+            # Liveness backstop: a dead worker whose pipe somehow never
+            # reported ready (and holds no buffered result) is a death.
+            for slot in list(slots):
+                if slot.task is None or slot.proc.is_alive():
+                    continue
+                try:
+                    has_buffered = slot.conn.poll()
+                except (OSError, EOFError):
+                    has_buffered = False
+                if not has_buffered:
+                    handle_death(slot)
+            now = time.monotonic()  # repro: allow[wallclock] — host supervision deadline, never simulated ordering
+            if deadline is not None:
+                for slot in list(slots):
+                    index = slot.task
+                    if index is None or now - slot.started <= deadline:
+                        continue
+                    count("parallel.deadline_kills")
+                    kill_slot(slot)
+                    record_failure(
+                        slot, index, "deadline",
+                        f"exceeded the {deadline:g}s per-point wall "
+                        f"deadline")
+            if hedge_after is not None:
+                for slot in list(slots):
+                    index = slot.task
+                    if (index is None or slot.hedge
+                            or hedged.get(index)
+                            or now - slot.started <= hedge_after):
+                        continue
+                    idle = next((s for s in slots if s.task is None), None)
+                    if idle is None and len(slots) < max_slots:
+                        idle = spawn_slot()
+                    if idle is None:
+                        continue  # no spare capacity this round
+                    hedged[index] = True
+                    count("parallel.hedges")
+                    dispatch(idle, index, hedge=True)
+    except BaseException:  # noqa: BLE001 - teardown, then propagate
+        teardown()
+        raise
+    # Clean shutdown: ask workers to exit, then make sure they did.
+    for slot in list(slots):
+        try:
+            slot.conn.send(None)
+        except (OSError, BrokenPipeError):  # pragma: no cover
+            pass
+    for slot in list(slots):
+        slot.proc.join(timeout=2.0)
+        kill_slot(slot)
+    return results, snaps

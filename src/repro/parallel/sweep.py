@@ -10,10 +10,12 @@ contract:
 * **No pool at ``jobs=1``** — the serial path calls each point's
   function directly in-process: no pickling, no subprocess, identical
   to the pre-parallel code (the CI default stays exactly as today).
-* **Spawn-safe** — the pool uses the ``spawn`` start method
-  everywhere, so workers never inherit forked interpreter state; a
-  point must be a *module-level* function named by its dotted path and
-  its kwargs must be plain picklable values.
+  And no pool is ever created when the journal/cache already cover
+  every point: a fully warm run spawns zero processes.
+* **Spawn-safe** — workers use the ``spawn`` start method everywhere,
+  so they never inherit forked interpreter state; a point must be a
+  *module-level* function named by its dotted path and its kwargs must
+  be plain picklable values.
 * **Check-flag propagation** — the parent's ``REPRO_CHECK``/
   :func:`~repro.check.flags.checks_enabled` state at call time is
   re-applied inside every worker (``enable_checks`` is process-local,
@@ -23,26 +25,47 @@ contract:
   text (never as a possibly-unpicklable exception object) and re-raised
   here as :class:`PointError` naming the function, index and kwargs of
   the failing point, so it can be replayed exactly with ``jobs=1``.
+* **Supervision** — at ``jobs > 1`` the fan-out runs under
+  :func:`~repro.parallel.supervisor.run_supervised`: worker deaths
+  (SIGKILL/OOM) and per-point ``deadline`` overruns are detected and
+  the affected points re-executed under a deterministic bounded
+  :class:`~repro.parallel.supervisor.RetrySpec`; exhausted points raise
+  :class:`PointError` naming every attempt.
+* **Journaling & resume** — with a
+  :class:`~repro.parallel.journal.RunJournal`, every completed point
+  (executed *or* served by the cache) is recorded durably the moment
+  it lands; a later call with the same journal replays those entries
+  and only runs what is missing, which is what backs ``--resume`` on
+  both CLIs.
+* **Clean interruption** — SIGINT (and SIGTERM, when running on the
+  main thread) during a sweep tears the workers down and surfaces as
+  :class:`~repro.errors.SweepInterrupted` reporting progress and, via
+  ``resume_hint``, the exact resume command.  The journal needs no
+  flush: it is written point-by-point with atomic replaces.
 * **Observability propagation** — with ``REPRO_OBS`` on, every point
   executes inside its own :func:`repro.obs.metrics.capture_point`
   scope (serially here, or inside a worker); the per-point snapshots —
   freshly captured, shipped back in the outcome tuple, or replayed
-  from the point cache — merge into the parent registry **in point
+  from the journal/cache — merge into the parent registry **in point
   order**, so the merged metrics are bit-identical whatever the job
-  count or cache temperature.
+  count, cache temperature or crash/resume history.  Supervision
+  bookkeeping lands under the volatile ``parallel.*`` prefix, which
+  manifests exclude — recovery never changes an artifact byte.
 """
 
 from __future__ import annotations
 
 import os
 import shlex
+import signal
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ReproError
+from ..errors import ReproError, SweepInterrupted
 from ..obs import metrics
-from .worker import execute_point, init_worker, resolve
+from .worker import resolve
 
 #: Cap applied by :func:`default_jobs`; sweeps rarely have more points.
 _MAX_DEFAULT_JOBS = 8
@@ -62,18 +85,24 @@ class PointError(ReproError):
     When the point ran in a worker process the original traceback is
     appended verbatim (the exception object itself never crosses the
     pool boundary — only its rendering does, so unpicklable exception
-    args can never wedge the pool).
+    args can never wedge the pool).  When supervision retried the point
+    (worker deaths, deadline kills) every prior
+    :class:`~repro.parallel.supervisor.Attempt` is listed too.
     """
 
     def __init__(self, point: "SweepPoint", index: int, message: str,
-                 worker_traceback: Optional[str] = None) -> None:
+                 worker_traceback: Optional[str] = None,
+                 attempts: Tuple[Any, ...] = ()) -> None:
         self.point = point
         self.index = index
         self.message = message
         self.worker_traceback = worker_traceback
+        self.attempts = tuple(attempts)
         detail = (f"sweep point #{index} ({point.fn}) failed: {message}\n"
                   f"  replay serially with jobs=1: "
                   f"{point.replay_expression()}")
+        for attempt in self.attempts:
+            detail += f"\n  {attempt.format()}"
         if worker_traceback:
             detail += f"\n--- worker traceback ---\n{worker_traceback}"
         super().__init__(detail)
@@ -82,7 +111,7 @@ class PointError(ReproError):
         # Exceptions pickle as ``cls(*args)`` by default, which does not
         # match this constructor; rebuild from the original fields.
         return (self.__class__, (self.point, self.index, self.message,
-                                 self.worker_traceback))
+                                 self.worker_traceback, self.attempts))
 
 
 @dataclass(frozen=True)
@@ -161,62 +190,163 @@ def _run_serial(point: SweepPoint, index: int) -> Any:
                          f"{type(exc).__name__}: {exc}") from exc
 
 
+def _install_sigterm(state: Dict[str, str]) -> Optional[Tuple[Any]]:
+    """Convert SIGTERM into ``KeyboardInterrupt`` for the sweep's
+    duration, so a batch scheduler's kill gets the same clean teardown
+    and :class:`~repro.errors.SweepInterrupted` report as Ctrl-C.
+
+    Signal handlers can only be installed from the main thread; from
+    anywhere else this is a no-op.  Returns an opaque restore token for
+    :func:`_restore_sigterm` (``None`` when nothing was installed).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def handler(signum: int, frame: Any) -> None:
+        state["signame"] = "SIGTERM"
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, handler)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        return None
+    return (previous,)
+
+
+def _restore_sigterm(token: Optional[Tuple[Any]]) -> None:
+    """Undo :func:`_install_sigterm` (no-op for a ``None`` token)."""
+    if token is None:
+        return
+    previous = token[0]
+    signal.signal(signal.SIGTERM,
+                  previous if previous is not None else signal.SIG_DFL)
+
+
 def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
-              cache: Optional[Any] = None) -> List[Any]:
+              cache: Optional[Any] = None, journal: Optional[Any] = None,
+              retry: Optional[Any] = None, deadline: Optional[float] = None,
+              hedge_after: Optional[float] = None,
+              resume_hint: str = "") -> List[Any]:
     """Run every point and return their results in point order.
 
     Parameters
     ----------
     jobs:
         ``<= 1`` runs in-process with no pool (the exact serial code
-        path); ``> 1`` fans the uncached points across a spawn pool of
-        that many workers.  ``0`` means :func:`default_jobs`.
+        path); ``> 1`` fans the uncached points across that many
+        supervised spawn workers.  ``0`` means :func:`default_jobs`.
     cache:
         Optional :class:`~repro.parallel.pointcache.PointCache`.  Hits
         skip execution entirely; misses are executed and stored.
+    journal:
+        Optional :class:`~repro.parallel.journal.RunJournal`.  Entries
+        already journaled are replayed without execution (that is the
+        resume path); everything that completes — including cache hits
+        — is recorded durably the moment it lands, so an interrupted or
+        killed run loses only in-flight points.
+    retry:
+        Optional :class:`~repro.parallel.supervisor.RetrySpec` bounding
+        how often a crashed/hung point is re-executed (default: two
+        retries, recorded exponential backoff).  Supervised runs only.
+    deadline:
+        Optional per-point wall-clock budget in seconds; a supervised
+        point exceeding it has its worker killed and is retried.
+    hedge_after:
+        Optional straggler threshold in seconds; a supervised point
+        still running past it is duplicated onto an idle worker and the
+        first copy to finish wins.
+    resume_hint:
+        The exact command that resumes this run; embedded in
+        :class:`~repro.errors.SweepInterrupted` on SIGINT/SIGTERM.
 
     Raises
     ------
     PointError
-        If any point fails.  Points before the failing one (in sweep
-        order) have already produced their values; none are returned.
+        If any point fails (or exhausts its crash/hang retries).
+    SweepInterrupted
+        On SIGINT/SIGTERM, after tearing the workers down.  Every point
+        completed before the signal is already journaled.
     """
     if jobs == 0:
         jobs = default_jobs()
     results: List[Any] = [None] * len(points)
-    #: point index -> deterministic metric snapshot (cache replay,
-    #: serial capture or worker shipment) — merged in point order below.
+    #: point index -> deterministic metric snapshot (journal/cache
+    #: replay, serial capture or worker shipment) — merged in point
+    #: order below.
     deltas: Dict[int, Any] = {}
     pending: List[int] = []
+    resumed = 0
+    cached = 0
     for i, point in enumerate(points):
+        if journal is not None:
+            hit, value, obs = journal.get(point)
+            if hit:
+                results[i] = value
+                if obs is not None:
+                    deltas[i] = obs
+                resumed += 1
+                continue
         if cache is not None:
             hit, value, obs = cache.get(point)
             if hit:
                 results[i] = value
                 if obs is not None:
                     deltas[i] = obs
+                cached += 1
+                if journal is not None:
+                    # Journal the hit too: resume must not depend on
+                    # the cache still being warm (or present) later.
+                    journal.record(point, value, obs)
                 continue
         pending.append(i)
 
+    m = metrics.current()
+    if m is not None:
+        m.count("parallel.points_total", len(points))
+        if resumed:
+            m.count("parallel.points_resumed", resumed)
+        if cached:
+            m.count("parallel.points_cached", cached)
+        if pending:
+            m.count("parallel.points_executed", len(pending))
+
     if pending:
-        if jobs <= 1 or len(pending) == 1:
-            for i in pending:
-                t0 = time.perf_counter()  # repro: allow[wallclock] — volatile host metric, never ordering
-                with metrics.capture_point() as cap:
-                    results[i] = _run_serial(points[i], i)
-                wall = time.perf_counter() - t0  # repro: allow[wallclock] — volatile host metric, never ordering
-                snap = cap.snapshot()
-                if snap is not None:
-                    deltas[i] = snap
-                m = metrics.current()
-                if m is not None:
-                    m.observe("parallel.point_wall", wall, POINT_WALL_EDGES)
-        else:
-            results_by_index, snaps_by_index = _run_pool(points, pending,
-                                                         jobs)
-            for i, value in results_by_index.items():
-                results[i] = value
-            deltas.update(snaps_by_index)
+        # (If nothing is pending — journal/cache covered everything —
+        # no worker, pool or signal handler is ever created.)
+        sig_state: Dict[str, str] = {}
+        token = _install_sigterm(sig_state)
+        try:
+            if jobs <= 1 or len(pending) == 1:
+                for i in pending:
+                    t0 = time.perf_counter()  # repro: allow[wallclock] — volatile host metric, never ordering
+                    with metrics.capture_point() as cap:
+                        results[i] = _run_serial(points[i], i)
+                    wall = time.perf_counter() - t0  # repro: allow[wallclock] — volatile host metric, never ordering
+                    snap = cap.snapshot()
+                    if snap is not None:
+                        deltas[i] = snap
+                    if journal is not None:
+                        journal.record(points[i], results[i], snap)
+                    reg = metrics.current()
+                    if reg is not None:
+                        reg.observe("parallel.point_wall", wall,
+                                    POINT_WALL_EDGES)
+            else:
+                from .supervisor import run_supervised
+                results_by_index, snaps_by_index = run_supervised(
+                    points, pending, jobs, retry=retry, deadline=deadline,
+                    hedge_after=hedge_after, journal=journal)
+                for i, value in results_by_index.items():
+                    results[i] = value
+                deltas.update(snaps_by_index)
+        except KeyboardInterrupt:
+            completed = (journal.entry_count() if journal is not None
+                         else len(points) - len(pending))
+            raise SweepInterrupted(
+                completed, len(points),
+                sig_state.get("signame", "SIGINT"), resume_hint) from None
+        finally:
+            _restore_sigterm(token)
         if cache is not None:
             for i in pending:
                 cache.put(points[i], results[i], obs=deltas.get(i))
@@ -230,41 +360,3 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
             if snap:
                 reg.merge(snap)
     return results
-
-
-def _run_pool(points: Sequence[SweepPoint], pending: Sequence[int],
-              jobs: int) -> Tuple[Dict[int, Any], Dict[int, Any]]:
-    """Fan the pending points over a spawn pool; see module docstring
-    for the safety contract.  Returns ``(results, obs snapshots)``,
-    both keyed by point index."""
-    import multiprocessing
-
-    from ..check.flags import checks_enabled, races_enabled, shake_seed
-
-    ctx = multiprocessing.get_context("spawn")
-    payloads = [(points[i].fn, points[i].kwargs) for i in pending]
-    workers = min(jobs, len(pending))
-    with ctx.Pool(workers, initializer=init_worker,
-                  initargs=(checks_enabled(), races_enabled(),
-                            shake_seed(), metrics.obs_enabled())) as pool:
-        outcomes = pool.map(execute_point, payloads)
-    results: Dict[int, Any] = {}
-    snaps: Dict[int, Any] = {}
-    for i, outcome in zip(pending, outcomes):
-        status = outcome[0]
-        if status == "ok":
-            results[i] = outcome[1]
-            if len(outcome) > 2 and outcome[2]:
-                # Race findings recorded inside the worker: replay them
-                # into the parent's registry so a pooled run reports
-                # exactly what a serial one would.
-                from ..check.races import report_finding
-                for finding in outcome[2]:
-                    report_finding(finding)
-            if len(outcome) > 3 and outcome[3] is not None:
-                snaps[i] = outcome[3]
-        else:
-            _status, exc_type, exc_msg, tb_text = outcome
-            raise PointError(points[i], i, f"{exc_type}: {exc_msg}",
-                             worker_traceback=tb_text)
-    return results, snaps

@@ -54,6 +54,48 @@ def init_worker(checks_on: bool, races_on: bool = False,
     enable_obs(obs_on)
 
 
+def worker_main(conn: Any, checks_on: bool, races_on: bool = False,
+                shake: Any = None, obs_on: bool = False) -> None:
+    """Supervised-worker entry point: serve tasks off a pipe until told
+    to stop.
+
+    The supervisor (:mod:`repro.parallel.supervisor`) spawns one
+    process per worker slot with its end of a duplex
+    ``multiprocessing.Pipe``.  The loop receives ``(task id, fn path,
+    kwargs items)`` tuples, executes each through
+    :func:`execute_point`, and ships ``(task id, outcome)`` back.  A
+    ``None`` message — or the parent closing its end — shuts the worker
+    down cleanly.
+
+    The task id rides along so the parent can attribute an outcome (or
+    a death: the kernel closes this pipe when the process dies, which
+    is how SIGKILL/OOM is detected) to the exact point that produced
+    it, whatever the resubmission or hedging history.
+
+    An outcome whose value does not pickle would crash ``send`` — and
+    look like a worker death to the parent — so pickling failures are
+    converted into ordinary ``("error", ...)`` outcomes (the pickle
+    happens before any byte is written, so a failed ``send`` never
+    tears the stream).
+    """
+    init_worker(checks_on, races_on, shake, obs_on)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return  # parent is gone (or tearing down): just exit
+        if message is None:
+            return
+        task_id, fn_path, kwargs_items = message
+        outcome = execute_point((fn_path, kwargs_items))
+        try:
+            conn.send((task_id, outcome))
+        except Exception as exc:  # noqa: BLE001 - converted, not hidden
+            conn.send((task_id, ("error", type(exc).__name__,
+                                 f"shipping the result back failed: {exc}",
+                                 traceback.format_exc())))
+
+
 def execute_point(payload: Tuple[str, Tuple[Tuple[str, Any], ...]]
                   ) -> Tuple[Any, ...]:
     """Run one point; always return a picklable outcome tuple.

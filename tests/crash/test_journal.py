@@ -1,0 +1,101 @@
+"""RunJournal unit tests: durability, miss semantics, lifecycle."""
+
+import pickle
+
+from repro.parallel import RunJournal, SweepPoint, journal_root
+from repro.parallel.journal import DIE_AFTER_ENV
+
+FNS = "tests.crash.crashfuncs"
+
+
+def _point(index=0, **extra):
+    return SweepPoint.make(f"{FNS}:ok", label=f"ok#{index}", index=index,
+                           **extra)
+
+
+def test_record_and_get_roundtrip(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    point = _point(3, base_seed=7)
+    hit, value, obs = journal.get(point)
+    assert (hit, value, obs) == (False, None, None)
+    journal.record(point, [3, 28], {"counters": {"x": 1}})
+    hit, value, obs = journal.get(point)
+    assert hit
+    assert value == [3, 28]
+    assert obs == {"counters": {"x": 1}}
+    assert journal.records == 1
+    assert journal.replays == 1
+    assert journal.entry_count() == 1
+    assert journal.stats() == "1 replayed / 1 recorded / 1 on disk"
+
+
+def test_get_is_keyed_on_point_content(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    journal.record(_point(0), [0, 0])
+    hit, _, _ = journal.get(_point(1))
+    assert not hit, "a different point must never hit another's entry"
+
+
+def test_torn_entry_is_a_miss(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    point = _point(5)
+    journal.record(point, "payload")
+    [entry] = sorted((tmp_path / "j").rglob("*.pkl"))
+    # Truncate mid-pickle: the crash-consistency contract says a torn
+    # entry reads as a miss, never as an error or a wrong value.
+    entry.write_bytes(entry.read_bytes()[:3])
+    hit, value, obs = journal.get(point)
+    assert (hit, value, obs) == (False, None, None)
+    assert journal.replays == 0
+
+
+def test_entry_without_value_key_is_a_miss(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    point = _point(6)
+    journal.record(point, "payload")
+    [entry] = sorted((tmp_path / "j").rglob("*.pkl"))
+    entry.write_bytes(pickle.dumps({"not-value": 1}))
+    hit, _, _ = journal.get(point)
+    assert not hit
+
+
+def test_reset_and_discard_remove_everything(tmp_path):
+    root = tmp_path / "j"
+    journal = RunJournal(root)
+    for i in range(4):
+        journal.record(_point(i), i)
+    assert journal.entry_count() == 4
+    journal.reset()
+    assert journal.entry_count() == 0
+    journal.record(_point(0), 0)
+    journal.discard()
+    assert not root.exists()
+    # Discarding an already-absent journal is a harmless no-op.
+    journal.discard()
+
+
+def test_journal_root_composes_run_id(tmp_path):
+    assert journal_root("fig10", root=tmp_path) == tmp_path / "fig10"
+    default = journal_root("chaos-n4-seed0")
+    assert default.parts[-3:] == ("results", ".journals", "chaos-n4-seed0")
+
+
+def test_die_after_env_parsing(tmp_path, monkeypatch):
+    monkeypatch.setenv(DIE_AFTER_ENV, "3")
+    assert RunJournal(tmp_path)._die_after == 3
+    monkeypatch.setenv(DIE_AFTER_ENV, "  2 ")
+    assert RunJournal(tmp_path)._die_after == 2
+    monkeypatch.setenv(DIE_AFTER_ENV, "nope")
+    assert RunJournal(tmp_path)._die_after is None
+    monkeypatch.delenv(DIE_AFTER_ENV)
+    assert RunJournal(tmp_path)._die_after is None
+
+
+def test_record_overwrite_is_idempotent(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    point = _point(9)
+    journal.record(point, "same")
+    journal.record(point, "same")
+    assert journal.entry_count() == 1
+    hit, value, _ = journal.get(point)
+    assert hit and value == "same"

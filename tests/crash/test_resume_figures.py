@@ -1,0 +1,95 @@
+"""Satellite: a killed-and-resumed figure run reproduces an
+uninterrupted run's artifacts byte-for-byte.
+
+Runs the real CLI (``python -m repro.experiments fig12 --quick``) in
+throwaway working directories: once undisturbed as the reference, once
+SIGKILLed by the ``REPRO_JOURNAL_DIE_AFTER`` hook mid-sweep, then
+resumed with ``--resume``.  The resumed run's manifest must equal the
+reference manifest byte-for-byte, and its stdout must match up to the
+wall-clock footer line.
+"""
+
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.check.crash import _child_env
+
+CMD = [sys.executable, "-m", "repro.experiments", "fig12", "--quick",
+       "--no-cache", "--obs"]
+
+
+def _table_lines(stdout: bytes):
+    """Stdout minus the one volatile line (the wall-clock footer)."""
+    return [line for line in stdout.splitlines()
+            if b"regenerated in" not in line]
+
+
+@pytest.mark.slow
+def test_resumed_manifest_is_byte_identical(tmp_path):
+    env = _child_env()
+    ref_dir = tmp_path / "ref"
+    run_dir = tmp_path / "run"
+    ref_dir.mkdir()
+    run_dir.mkdir()
+
+    reference = subprocess.run(CMD, cwd=ref_dir, env=env,
+                               capture_output=True, timeout=300,
+                               check=False)
+    assert reference.returncode == 0, reference.stderr.decode()
+
+    killed = subprocess.run(
+        CMD, cwd=run_dir, env={**env, "REPRO_JOURNAL_DIE_AFTER": "2"},
+        capture_output=True, timeout=300, check=False)
+    assert killed.returncode == -signal.SIGKILL, (
+        f"expected death by SIGKILL after 2 journal writes, got "
+        f"{killed.returncode}: {killed.stderr.decode()}")
+    journal_dir = run_dir / "results" / ".journals" / "fig12"
+    assert len(list(journal_dir.rglob("*.pkl"))) == 2
+
+    resumed = subprocess.run(CMD + ["--resume"], cwd=run_dir, env=env,
+                             capture_output=True, timeout=300, check=False)
+    assert resumed.returncode == 0, resumed.stderr.decode()
+    assert b"resuming, 2 journaled point(s)" in resumed.stderr
+
+    assert _table_lines(resumed.stdout) == _table_lines(reference.stdout)
+    ref_manifest = ref_dir / "results" / "fig12" / "manifest.json"
+    run_manifest = run_dir / "results" / "fig12" / "manifest.json"
+    assert run_manifest.read_bytes() == ref_manifest.read_bytes()
+    # Clean finish discards the journal.
+    assert not journal_dir.exists()
+
+
+@pytest.mark.slow
+def test_interrupted_cli_names_the_resume_command(tmp_path):
+    # Ctrl-C mid-sweep: the CLI must exit 130 and print the exact
+    # resume command to stderr.  The driver patches fig12's point
+    # function to raise KeyboardInterrupt after the first point — a
+    # deterministic stand-in for a user interrupt.
+    script = tmp_path / "driver.py"
+    script.write_text(
+        "import sys\n"
+        "import repro.experiments.fig12_metadata as fig12\n"
+        "from repro.experiments.__main__ import main\n"
+        "real = fig12.run_point\n"
+        "calls = {'n': 0}\n"
+        "def trap(**kwargs):\n"
+        "    if calls['n'] == 1:\n"
+        "        raise KeyboardInterrupt\n"
+        "    calls['n'] += 1\n"
+        "    return real(**kwargs)\n"
+        "fig12.run_point = trap\n"
+        "sys.exit(main(['fig12', '--quick', '--no-cache']))\n")
+    proc = subprocess.run([sys.executable, str(script)], cwd=tmp_path,
+                          env=_child_env(), capture_output=True,
+                          timeout=300, check=False)
+    assert proc.returncode == 130, proc.stderr.decode()
+    stderr = proc.stderr.decode()
+    assert "interrupted by SIGINT after 1 of 3 point(s)" in stderr
+    assert ("resume with: python -m repro.experiments fig12 --quick "
+            "--no-cache --resume") in stderr
+    # The completed point survived in the journal.
+    journal_dir = tmp_path / "results" / ".journals" / "fig12"
+    assert len(list(journal_dir.rglob("*.pkl"))) == 1
