@@ -8,10 +8,12 @@ Two stages, both on by default:
 2. **Runtime smoke**: a small simulated job per protocol feature with
    ``REPRO_CHECK`` forced on — collective read + write, an iterative
    sweep through :class:`~repro.core.plan_cache.PlanMemo`, a full
-   collective battery, and one *faulted* resilient run (seeded
-   aggregator crashes; the recovered result must equal the fault-free
-   one) — so the protocol verifier, the plan sanitizers, and the
-   recovery-coverage check run against real schedules.
+   collective battery, a two-level (node-aware) aggregation run that
+   must equal its one-level twin bit-for-bit, and one *faulted*
+   resilient run (seeded aggregator crashes; the recovered result must
+   equal the fault-free one) — so the protocol verifier, the plan
+   sanitizers, and the recovery-coverage check run against real
+   schedules.
 
 Three opt-in stages each replace both:
 
@@ -192,6 +194,48 @@ def _run_smoke(quiet: bool) -> int:
         if any(m.reuses == 0 for m in memos):
             raise AssertionError("PlanMemo never reused a translated plan")
 
+    def smoke_two_level():
+        """Two-level (node-aware) aggregation equals one-level exactly,
+        for the raw two-phase read/write and the CC reduction, with the
+        leader sub-collective and batch sanitizers forced on."""
+        from ..core import MAXLOC_OP
+        from ..io import CollectiveHints
+
+        spec = DatasetSpec((8, 16, 16), np.float64, name="smoke")
+        parts = block_partition(full_selection(spec), nprocs, axis=1)
+
+        def run(two_level):
+            machine = _machine()
+            file = machine.fs.create_procedural_file("smoke.nc",
+                                                     spec.n_elements)
+            hints = CollectiveHints(cb_buffer_size=1024,
+                                    two_level=two_level)
+            out = machine.fs.create_file(
+                "smoke_out.nc",
+                ArraySource(np.zeros(spec.n_elements, dtype=spec.dtype)))
+
+            def body(ctx):
+                request = AccessRequest.from_subarray(spec, parts[ctx.rank])
+                buf = yield from collective_read(ctx, file, request,
+                                                 hints=hints)
+                data = np.asarray(request.as_array(buf))
+                yield from collective_write(ctx, out, request, data,
+                                            hints=hints)
+                oio = ObjectIO(spec, parts[ctx.rank], MAXLOC_OP,
+                               hints=hints)
+                result = yield from object_get(ctx, file, oio)
+                return float(data.sum()), result.global_result
+            return mpi_run(machine, nprocs, body), out.source._bytes.copy()
+
+        one, bytes_one = run(False)
+        two, bytes_two = run(True)
+        if one != two:
+            raise AssertionError(
+                f"two-level results diverge from one-level: {two} != {one}")
+        if not np.array_equal(bytes_one, bytes_two):
+            raise AssertionError(
+                "two-level collective_write produced different file bytes")
+
     def smoke_faulted():
         from ..faults import (FaultInjector, FaultPlan, RecoveryPolicy,
                               resilient_object_get)
@@ -232,6 +276,7 @@ def _run_smoke(quiet: bool) -> int:
     scenario("two-phase read+write", smoke_read_write)
     scenario("collective computing object_get", smoke_object_get)
     scenario("PlanMemo translated sweep", smoke_plan_memo)
+    scenario("two-level node-aware aggregation", smoke_two_level)
     scenario("faulted resilient object_get", smoke_faulted)
 
     if failures:

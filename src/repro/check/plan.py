@@ -28,7 +28,7 @@ smoke battery; they are never on the hot path otherwise.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -42,6 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: the constants in :mod:`repro.io.twophase`'s send loops.
 PIECE_HEADER_BYTES = 24
 PAYLOAD_OVERHEAD_BYTES = 16
+#: Closed-form overhead of one ``(rank, payload)`` entry of a two-level
+#: batch: the 2-tuple container plus the integer rank.
+BATCH_ENTRY_BYTES = 24
 
 
 def shuffle_wire_bytes(pieces: "RunList") -> int:
@@ -49,6 +52,15 @@ def shuffle_wire_bytes(pieces: "RunList") -> int:
     ``pieces`` — what the send loops pass as ``nbytes``."""
     return (PAYLOAD_OVERHEAD_BYTES + PIECE_HEADER_BYTES * len(pieces)
             + pieces.total_bytes)
+
+
+def batch_wire_bytes(piece_lists: Sequence["RunList"]) -> int:
+    """The closed-form wire size of one two-level batch — a list of
+    ``(rank, payload)`` pairs, one per batched rank — as the two-level
+    send loops pass it for ``nbytes``."""
+    return PAYLOAD_OVERHEAD_BYTES + sum(
+        BATCH_ENTRY_BYTES + shuffle_wire_bytes(pieces)
+        for pieces in piece_lists)
 
 
 def check_plan(plan: "TwoPhasePlan") -> None:
@@ -138,6 +150,53 @@ def check_shuffle_accounting(plan: "TwoPhasePlan") -> None:
         raise IOLayerError(
             f"plan sanitizer: total shuffle accounting drifted "
             f"({closed_total} closed form vs {wire_total} measured)")
+
+
+def check_two_level_schedule(plan: "TwoPhasePlan",
+                             node_of: Callable[[int], int]) -> None:
+    """Two-level (node-aware) shuffle schedule invariants.
+
+    For every (aggregator, window), grouping the window's member ranks
+    by node must partition exactly the one-level sender/receiver set —
+    every rank lands in exactly one per-node batch, batches are
+    non-empty, and the closed-form batch wire size matches a
+    :func:`~repro.mpi.wire.wire_size` measurement of the real payload
+    structure.  This is the contract between the two-level send loops,
+    the leader relays and the flat-window tag scheme.
+    """
+    from ..mpi.wire import wire_size
+
+    for i, windows in enumerate(plan.windows):
+        for t in range(len(windows)):
+            ranks = plan.window_ranks(i, t)
+            by_node: dict = {}
+            for r in ranks:
+                by_node.setdefault(node_of(r), []).append(r)
+            flat = [r for node in sorted(by_node)
+                    for r in by_node[node]]
+            if sorted(flat) != ranks:
+                raise IOLayerError(
+                    f"plan sanitizer: two-level batches for window "
+                    f"({i}, {t}) cover ranks {sorted(flat)} but the "
+                    f"window's member set is {ranks}")
+            for node in sorted(by_node):
+                members = by_node[node]
+                if not members:  # pragma: no cover - defensive
+                    raise IOLayerError(
+                        f"plan sanitizer: empty two-level batch for node "
+                        f"{node} in window ({i}, {t})")
+                piece_lists = [plan.window_pieces(r, i, t)
+                               for r in members]
+                closed = batch_wire_bytes(piece_lists)
+                payload = [(r, [(off, np.zeros(n, dtype=np.uint8))
+                                for off, n in pieces])
+                           for r, pieces in zip(members, piece_lists)]
+                actual = wire_size(payload)
+                if closed != actual:
+                    raise IOLayerError(
+                        f"plan sanitizer: two-level batch for node {node} "
+                        f"in window ({i}, {t}) enqueues {closed} wire "
+                        f"bytes (closed form) but measures {actual}")
 
 
 def check_translation(base_runs: "RunList", runs: "RunList", delta: int,

@@ -62,6 +62,17 @@ class MapReduceOp:
     #: the (common) value-only operators.
     needs_indices = False
 
+    #: Whether re-associating :meth:`combine` is *bit-exact*: any
+    #: grouping of the same partials yields the identical result.  True
+    #: for integer sums and selection operators (count, max/min with or
+    #: without location, histogram); False for floating-point
+    #: accumulations, where ``(a+b)+c != a+(b+c)`` in general, and for
+    #: user ops, whose combine we cannot inspect.  The two-level CC
+    #: path only pre-combines partials node-locally when this is True —
+    #: otherwise it falls back to one-level so results stay
+    #: bit-identical.  A plain class attribute, like ``needs_indices``.
+    reassociable = False
+
     # -- hooks ------------------------------------------------------------
     def map_chunk(self, values: np.ndarray, indices: IndexInfo = None) -> Any:
         """Map a 1-D value block to a partial result."""
@@ -123,6 +134,8 @@ class CountOp(MapReduceOp):
     name: str = "count"
     ops_per_element: float = 0.1
 
+    reassociable = True
+
     def map_chunk(self, values: np.ndarray, indices: IndexInfo = None) -> int:
         return int(values.size)
 
@@ -135,6 +148,8 @@ class MaxOp(MapReduceOp):
     """Maximum value."""
 
     name: str = "max"
+
+    reassociable = True
 
     def map_chunk(self, values: np.ndarray, indices: IndexInfo = None) -> float:
         if values.size == 0:
@@ -150,6 +165,8 @@ class MinOp(MapReduceOp):
     """Minimum value."""
 
     name: str = "min"
+
+    reassociable = True
 
     def map_chunk(self, values: np.ndarray, indices: IndexInfo = None) -> float:
         if values.size == 0:
@@ -173,6 +190,9 @@ class MaxLocOp(MapReduceOp):
     ops_per_element: float = 1.5
 
     needs_indices = True
+    # Selection with a total order (value, then lower index): any
+    # combine grouping picks the same winner.
+    reassociable = True
 
     def map_chunk(self, values: np.ndarray,
                   indices: IndexInfo = None) -> Tuple[float, int]:
@@ -200,6 +220,7 @@ class MinLocOp(MapReduceOp):
     ops_per_element: float = 1.5
 
     needs_indices = True
+    reassociable = True
 
     def map_chunk(self, values: np.ndarray,
                   indices: IndexInfo = None) -> Tuple[float, int]:
@@ -289,6 +310,9 @@ class HistogramOp(MapReduceOp):
     bins: int = 16
     lo: float = 0.0
     hi: float = 1.0
+
+    # Integer bin counts: addition is exact in any grouping.
+    reassociable = True
 
     def __post_init__(self) -> None:
         if self.bins < 1:

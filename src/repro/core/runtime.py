@@ -28,11 +28,13 @@ from ..errors import CollectiveComputingError
 from ..io import AccessRequest
 from ..io.twophase import TwoPhasePlan, make_plan
 from ..mpi import RankContext
+from ..mpi.comm import NodeSplit
 from ..pfs import PFSFile
 from ..profiling import PhaseTimeline
 from .map_engine import map_pieces
 from .metadata import CCStats, PartialResult
 from .object_io import ObjectIO
+from .ops import MapReduceOp
 from .reduction import (BLOCK_PARSE_COST, COMBINE_ELEMENT_COST,
                         combine_partials,
                         construct_per_rank, global_reduce)
@@ -62,15 +64,63 @@ class CCResult:
     stats: Optional[CCStats] = None
 
 
+def _merge_partial_pair(op: MapReduceOp, a: PartialResult,
+                        b: PartialResult) -> PartialResult:
+    """Node-local pre-combine of two partials for the same destination
+    (two-level CC mode): payloads combine with the reduction op, logical
+    blocks concatenate, and the merged record is re-sized.  Only valid
+    for :attr:`~repro.core.ops.MapReduceOp.reassociable` operators —
+    the caller gates on that — so the final result is bit-identical to
+    shipping the partials separately."""
+    if a.dest_rank != b.dest_rank:  # pragma: no cover - defensive
+        raise CollectiveComputingError(
+            f"cannot merge partials for ranks {a.dest_rank} and "
+            f"{b.dest_rank}")
+    payload = op.combine(a.payload, b.payload)
+    return PartialResult(
+        dest_rank=a.dest_rank,
+        iteration=min(a.iteration, b.iteration),
+        blocks=a.blocks + b.blocks,
+        payload=payload,
+        payload_nbytes=op.partial_nbytes(payload),
+        digest=None,
+    )
+
+
+def _fold_partials(op: MapReduceOp, merged: Dict[int, PartialResult],
+                   partials) -> int:
+    """Fold ``partials`` into the per-destination accumulator ``merged``
+    in place; returns the number of combines performed (for CPU-cost
+    accounting)."""
+    folds = 0
+    for p in partials:
+        acc = merged.get(p.dest_rank)
+        if acc is None:
+            merged[p.dest_rank] = p
+        else:
+            merged[p.dest_rank] = _merge_partial_pair(op, acc, p)
+            folds += 1
+    return folds
+
+
 def _cc_aggregator_loop(ctx: RankContext, file: PFSFile, oio: ObjectIO,
                         plan: TwoPhasePlan, agg_idx: int, base_tag: int,
                         timeline: Optional[PhaseTimeline],
-                        stats: Optional[CCStats]) -> Generator:
-    """Aggregator side: read window -> map pieces -> shuffle partials."""
+                        stats: Optional[CCStats],
+                        staging: Optional[tuple] = None) -> Generator:
+    """Aggregator side: read window -> map pieces -> shuffle partials.
+
+    With ``staging=(ns, stage_tag)`` (two-level mode) the per-window
+    shuffle is replaced by node-local pre-combining: partials are held
+    back, merged per destination rank across all of this aggregator's
+    windows, and sent as one staged batch to the node leader — only the
+    already-combined records ever cross the network."""
     my_windows = plan.windows[agg_idx]
     kernel = ctx.kernel
     hints = oio.hints
     op = oio.op
+    window_partials: List[Optional[List[PartialResult]]] = (
+        [None] * len(my_windows) if staging is not None else [])
 
     def issue_read(t):
         r_lo, r_hi = plan.read_span(agg_idx, t)
@@ -105,6 +155,11 @@ def _cc_aggregator_loop(ctx: RankContext, file: PFSFile, oio: ObjectIO,
             stats.map_time += kernel.now - t_map
         if timeline is not None:
             timeline.record(ctx.rank, t, "map", t_map, kernel.now)
+        if staging is not None:
+            # Two-level mode: hold the window's partials back for the
+            # cross-window pre-combine; nothing is sent per window.
+            window_partials[t] = partials
+            return None
         t_sh = kernel.now
         sends = []
         if oio.reduce_mode == "all_to_all":
@@ -154,6 +209,122 @@ def _cc_aggregator_loop(ctx: RankContext, file: PFSFile, oio: ObjectIO,
                 pending = issue_read(t + 1)
     if workers:
         yield kernel.all_of(workers)
+    if staging is not None:
+        ns, stage_tag = staging
+        merged: Dict[int, PartialResult] = {}
+        folds = 0
+        for t in range(len(my_windows)):
+            folds += _fold_partials(op, merged, window_partials[t] or [])
+        t0 = kernel.now
+        yield from ctx.compute(folds * COMBINE_ELEMENT_COST, 1.0)
+        if stats is not None:
+            stats.local_reduction_time += kernel.now - t0
+        staged = [merged[r] for r in sorted(merged)]
+        yield from ctx.comm.send(staged, ns.leader, stage_tag)
+    return None
+
+
+def _cc_collect_staged(ctx: RankContext, op: MapReduceOp,
+                       plan: TwoPhasePlan, ns: NodeSplit, stage_tag: int,
+                       stats: Optional[CCStats]) -> Generator:
+    """Leader side of two-level staging: receive each co-located
+    aggregator's staged batch and pre-combine per destination rank.
+    Returns the merged ``{dest_rank: partial}`` accumulator."""
+    comm = ctx.comm.comm
+    my_aggs = [a for i, a in enumerate(plan.aggregators)
+               if comm.node_of(a) == ns.node_index and plan.windows[i]]
+    merged: Dict[int, PartialResult] = {}
+    folds = 0
+    blocks = 0
+    for a in my_aggs:
+        staged = yield from ctx.comm.recv(a, stage_tag)
+        blocks += sum(len(p.blocks) for p in staged)
+        folds += _fold_partials(op, merged, staged)
+    t0 = ctx.kernel.now
+    yield from ctx.compute(
+        folds * COMBINE_ELEMENT_COST + blocks * BLOCK_PARSE_COST, 1.0)
+    if stats is not None:
+        stats.local_reduction_time += ctx.kernel.now - t0
+    return merged
+
+
+def _cc_receiver_all_to_all_two_level(ctx: RankContext, oio: ObjectIO,
+                                      plan: TwoPhasePlan, ns: NodeSplit,
+                                      stage_tag: int, xnode_tag: int,
+                                      fwd_tag: int,
+                                      stats: Optional[CCStats]) -> Generator:
+    """All-to-all mode, two-level: leaders collect their aggregators'
+    staged (pre-combined) partials, exchange one batch per destination
+    node across the network, and deliver each co-located rank its
+    partials in one intra-node message.
+
+    Every schedule decision — which aggregators stage, which node pairs
+    exchange, which ranks expect a delivery — derives deterministically
+    from :attr:`TwoPhasePlan.rank_agg_matrix` on every rank.
+    """
+    comm = ctx.comm.comm
+    op = oio.op
+    if not ns.is_leader:
+        received: List[PartialResult] = []
+        if bool(plan.membership[ctx.rank].any()):
+            received = yield from ctx.comm.recv(ns.leader, fwd_tag)
+        payload = yield from combine_partials(ctx, op, received, stats)
+        return payload
+    merged = yield from _cc_collect_staged(ctx, op, plan, ns, stage_tag,
+                                           stats)
+    # Outbound: one batch per destination node (its leader), carrying
+    # this node's pre-combined partials destined there.
+    by_node: Dict[int, List[PartialResult]] = {}
+    for r in sorted(merged):
+        by_node.setdefault(comm.node_of(r), []).append(merged[r])
+    sends = []
+    for node in sorted(by_node):
+        if node == ns.node_index:
+            continue
+        sends.append(ctx.comm.isend(by_node[node], comm.node_leader(node),
+                                    xnode_tag))
+    # Inbound: source nodes whose aggregators hold data for any rank of
+    # this node (own node's staged data is already in hand).
+    mat = plan.rank_agg_matrix
+    agg_node = [comm.node_of(a) for a in plan.aggregators]
+    dest_any = mat[ns.node_ranks].any(axis=0)
+    src_nodes = sorted(
+        {agg_node[i] for i in np.flatnonzero(dest_any)}
+        - {ns.node_index})
+    inbound: Dict[int, List[PartialResult]] = {}
+    own = by_node.get(ns.node_index)
+    if own:
+        inbound[ns.node_index] = own
+    for s in src_nodes:
+        batch = yield from ctx.comm.recv(comm.node_leader(s), xnode_tag)
+        inbound[s] = batch
+    # Deliver: one intra-node message per co-located rank, its partials
+    # ordered by source node.
+    per_rank: Dict[int, List[PartialResult]] = {}
+    for s in sorted(inbound):
+        for p in inbound[s]:
+            per_rank.setdefault(p.dest_rank, []).append(p)
+    for r in sorted(per_rank):
+        if r == ctx.rank:
+            continue
+        sends.append(ctx.comm.isend(per_rank[r], r, fwd_tag))
+    for req in sends:
+        yield from ctx.wait_recording(req.event, "wait")
+    payload = yield from combine_partials(ctx, op,
+                                          per_rank.get(ctx.rank, []), stats)
+    return payload
+
+
+def _cc_stage_to_root(ctx: RankContext, oio: ObjectIO, plan: TwoPhasePlan,
+                      ns: NodeSplit, stage_tag: int,
+                      xnode_tag: int, stats: Optional[CCStats]) -> Generator:
+    """All-to-one mode, two-level, leader side: collect and pre-combine
+    the node's staged partials, then ship them to the root in one
+    message per node."""
+    merged = yield from _cc_collect_staged(ctx, oio.op, plan, ns,
+                                           stage_tag, stats)
+    staged = [merged[r] for r in sorted(merged)]
+    yield from ctx.comm.send(staged, oio.root, xnode_tag)
     return None
 
 
@@ -207,17 +378,32 @@ def _cc_receiver_all_to_all(ctx: RankContext, oio: ObjectIO,
 
 def _cc_receiver_all_to_one(ctx: RankContext, oio: ObjectIO,
                             plan: TwoPhasePlan, base_tag: int,
-                            stats: Optional[CCStats]) -> Generator:
-    """All-to-one mode, root side: collect every window's partial batch
-    and construct per-rank results."""
+                            stats: Optional[CCStats],
+                            staging: Optional[tuple] = None) -> Generator:
+    """All-to-one mode, root side: collect the partial batches and
+    construct per-rank results.
+
+    One-level: one batch per (aggregator, window).  Two-level
+    (``staging=(ns, xnode_tag)``): one pre-combined batch per *node*
+    hosting an aggregator with windows, sent by that node's leader.
+    """
     received: List[PartialResult] = []
-    n_batches = 0
-    for i, agg_rank in enumerate(plan.aggregators):
-        for t in range(len(plan.windows[i])):
-            req = ctx.comm.irecv(agg_rank, base_tag + t)
+    if staging is not None:
+        _ns, xnode_tag = staging
+        comm = ctx.comm.comm
+        stage_nodes = sorted({
+            comm.node_of(a) for i, a in enumerate(plan.aggregators)
+            if plan.windows[i]})
+        for s in stage_nodes:
+            req = ctx.comm.irecv(comm.node_leader(s), xnode_tag)
             msg = yield from ctx.wait_recording(req.event, "wait")
             received.extend(msg.data)
-            n_batches += 1
+    else:
+        for i, agg_rank in enumerate(plan.aggregators):
+            for t in range(len(plan.windows[i])):
+                req = ctx.comm.irecv(agg_rank, base_tag + t)
+                msg = yield from ctx.wait_recording(req.event, "wait")
+                received.extend(msg.data)
     t0 = ctx.kernel.now
     blocks = sum(len(p.blocks) for p in received)
     cost_units = (max(len(received), 1) * COMBINE_ELEMENT_COST
@@ -255,23 +441,46 @@ def cc_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
         grid = (oio.spec.file_offset, oio.spec.itemsize)
         plan = yield from make_plan(ctx, request.runs, file, oio.hints,
                                     grid)
-    ntimes = plan.ntimes
-    base_tag = ctx.comm.next_collective_tags(max(ntimes, 1))
+    # Two-level (node-aware) staging: pre-combine partials node-locally
+    # before they cross the network.  Pre-combining re-associates the
+    # reduction, so it is gated on the op being bit-exact under
+    # re-association; otherwise fall back to one-level (the offset
+    # exchange in make_plan stays two-level either way — it is
+    # data-identical regardless of the op).
+    two_level = (oio.hints.two_level and oio.op.reassociable
+                 and ctx.size > 1)
+    ns: Optional[NodeSplit] = None
+    if two_level:
+        ns = yield from ctx.comm.node_split()
+        base_tag = ctx.comm.next_collective_tags(3)
+        stage_tag, xnode_tag, fwd_tag = base_tag, base_tag + 1, base_tag + 2
+        staging = (ns, stage_tag)
+    else:
+        base_tag = ctx.comm.next_collective_tags(max(plan.ntimes, 1))
+        staging = None
     agg_idx = plan.aggregator_index(ctx.rank)
 
     procs = []
     if agg_idx is not None and plan.windows[agg_idx]:
         procs.append(ctx.kernel.process(
             _cc_aggregator_loop(ctx, file, oio, plan, agg_idx, base_tag,
-                                timeline, stats),
+                                timeline, stats, staging),
             name=f"ccagg:r{ctx.rank}",
         ))
     result = CCResult(stats=stats)
     if oio.reduce_mode == "all_to_all":
-        recv_proc = ctx.kernel.process(
-            _cc_receiver_all_to_all(ctx, oio, plan, base_tag, stats),
-            name=f"ccrecv:r{ctx.rank}",
-        )
+        if two_level:
+            recv_proc = ctx.kernel.process(
+                _cc_receiver_all_to_all_two_level(
+                    ctx, oio, plan, ns, stage_tag, xnode_tag, fwd_tag,
+                    stats),
+                name=f"ccrecv:r{ctx.rank}",
+            )
+        else:
+            recv_proc = ctx.kernel.process(
+                _cc_receiver_all_to_all(ctx, oio, plan, base_tag, stats),
+                name=f"ccrecv:r{ctx.rank}",
+            )
         procs.append(recv_proc)
         yield ctx.kernel.all_of(procs)
         payload = recv_proc.value
@@ -279,9 +488,19 @@ def cc_read_compute(ctx: RankContext, file: PFSFile, oio: ObjectIO,
         result.global_result = yield from global_reduce(
             ctx, oio.op, payload, oio.root, stats)
     else:  # all_to_one
+        if two_level and ns.is_leader and any(
+                plan.windows[i] for i, a in enumerate(plan.aggregators)
+                if ctx.comm.comm.node_of(a) == ns.node_index):
+            procs.append(ctx.kernel.process(
+                _cc_stage_to_root(ctx, oio, plan, ns, stage_tag,
+                                  xnode_tag, stats),
+                name=f"ccstage:r{ctx.rank}",
+            ))
         if ctx.rank == oio.root:
             recv_proc = ctx.kernel.process(
-                _cc_receiver_all_to_one(ctx, oio, plan, base_tag, stats),
+                _cc_receiver_all_to_one(
+                    ctx, oio, plan, base_tag, stats,
+                    (ns, xnode_tag) if two_level else None),
                 name=f"ccroot:r{ctx.rank}",
             )
             procs.append(recv_proc)

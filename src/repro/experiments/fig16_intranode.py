@@ -1,0 +1,142 @@
+"""Figure 16 — two-level (node-aware) aggregation vs the flat protocol.
+
+Beyond the paper: its protocol pays cross-node wire cost for every
+offset-list entry and every shuffled partial even when several ranks
+share a node.  Intra-node request aggregation (Kang et al.,
+arXiv:1907.12656) and in-node combining of partial results (Lee et
+al., arXiv:1511.04861) stage both through one leader per node before
+the inter-node exchange; ``CollectiveHints(two_level=True)`` turns the
+same move on in this simulator — the offset exchange runs leaders-only
+and CC partials destined off-node are pre-combined node-locally (the
+reduction op must be bit-exact under re-association, which
+:attr:`~repro.core.ops.MapReduceOp.reassociable` certifies).
+
+Series, per ranks-per-node: completion time and cross-node wire bytes
+for the one-level and two-level protocols, collective computing vs the
+two-phase baseline.  Expected shape: at one rank per node the two
+protocols coincide (every rank is its own leader; two-level pays a few
+bytes of batch framing for nothing), and as ranks-per-node grows the
+two-level lines drop below the one-level ones — the offset lists cross
+the network once per *node* instead of once per *rank*, and CC ships
+pre-combined partials.  Every row's data is bit-identical between the
+two protocols; the win is wire bytes and simulated time only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import Machine
+from ..config import KiB, MiB
+from ..core import MAXLOC_OP, ObjectIO, object_get
+from ..io import CollectiveHints
+from ..mpi import mpi_run
+from ..sim import Kernel
+from ..workloads.climate import interleaved_workload
+from .common import (ExperimentResult, hopper_platform, sweep,
+                     with_sanitizers)
+
+#: Ranks-per-node sweep (1 first: the degenerate self-leader reference).
+RPNS: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: ``--quick`` configuration.
+QUICK_KWARGS: Dict[str, Any] = dict(nprocs=16, per_rank_kib=192,
+                                    rpns=(1, 2, 4))
+
+_FN = "repro.experiments.fig16_intranode:run_point"
+
+
+def run_point(nprocs: int, rpn: int, per_rank_kib: int, time_steps: int,
+              block: bool, two_level: bool) -> Tuple[float, int, int, Any]:
+    """One job at one (ranks-per-node, pipeline, protocol) point;
+    returns (completion time, inter-node bytes, intra-node bytes,
+    root's global result) for the merge phase."""
+    platform = hopper_platform(nprocs // rpn, cores_per_node=rpn)
+    workload = interleaved_workload(nprocs,
+                                    per_rank_bytes=per_rank_kib * KiB,
+                                    time_steps=time_steps)
+    hints = CollectiveHints(cb_buffer_size=1 * MiB, two_level=two_level)
+    kernel = Kernel()
+    machine = Machine(kernel, platform)
+    machine.validate_job(nprocs)
+    file = machine.fs.create_procedural_file(
+        "dataset.nc", workload.dspec.n_elements,
+        dtype=workload.dspec.dtype, stripe_size=1 * MiB, stripe_count=-1)
+
+    def main(ctx):
+        oio = ObjectIO(workload.dspec, workload.parts[ctx.rank], MAXLOC_OP,
+                       block=block, hints=hints)
+        result = yield from object_get(ctx, file, oio)
+        return result.global_result
+
+    results = mpi_run(machine, nprocs, main)
+    return (kernel.now, machine.network.inter_node_bytes,
+            machine.network.intra_node_bytes, results[0])
+
+
+def points(nprocs: int, per_rank_kib: int, time_steps: int,
+           rpns: Sequence[int]) -> List[Dict[str, Any]]:
+    """The sweep: per ranks-per-node, {CC, two-phase} × {1-, 2-level} —
+    every job builds its own kernel, so all are independent."""
+    pts: List[Dict[str, Any]] = []
+    for rpn in rpns:
+        for block in (False, True):
+            for two_level in (False, True):
+                pts.append(dict(nprocs=int(nprocs), rpn=int(rpn),
+                                per_rank_kib=int(per_rank_kib),
+                                time_steps=int(time_steps),
+                                block=block, two_level=two_level))
+    return pts
+
+
+@with_sanitizers
+def run(nprocs: int = 48, per_rank_kib: int = 384, time_steps: int = 24,
+        rpns: Sequence[int] = RPNS, *,
+        jobs: int = 1, cache: Any = None,
+        journal: Any = None) -> ExperimentResult:
+    """Regenerate Figure 16 (cross-node wire bytes and completion time,
+    one-level vs two-level aggregation, CC vs two-phase baseline, swept
+    over ranks-per-node)."""
+    rpns = tuple(r for r in rpns if nprocs % r == 0)
+    payloads = sweep(_FN, points(nprocs, per_rank_kib, time_steps, rpns),
+                     jobs=jobs, cache=cache, journal=journal)
+    rows: List[Tuple] = []
+    for i, rpn in enumerate(rpns):
+        for j, pipeline in enumerate(("cc", "two-phase")):
+            t1, inter1, intra1, res1 = payloads[4 * i + 2 * j]
+            t2, inter2, intra2, res2 = payloads[4 * i + 2 * j + 1]
+            rows.append((rpn, pipeline, round(t1, 4), round(t2, 4),
+                         round(inter1 / KiB, 2), round(inter2 / KiB, 2),
+                         round(intra2 / KiB, 2), res1 == res2))
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="Two-level (node-aware) aggregation vs the flat protocol",
+        headers=["ranks_per_node", "pipeline", "t_1lvl_s", "t_2lvl_s",
+                 "inter_1lvl_kib", "inter_2lvl_kib", "intra_2lvl_kib",
+                 "result_ok"],
+        rows=rows,
+        plot_spec=("ranks_per_node", ("inter_1lvl_kib", "inter_2lvl_kib")),
+        settings=[
+            ("processes", nprocs),
+            ("per-rank request (KiB)", per_rank_kib),
+            ("time steps (runs per rank)", time_steps),
+            ("collective buffer (MiB)", 1),
+            ("operator", MAXLOC_OP.name),
+        ],
+        paper_expectation=(
+            "not in the paper (its protocol is flat): at one rank per "
+            "node the protocols coincide up to batch framing; above "
+            "that, two-level sends strictly fewer cross-node bytes — "
+            "offset lists cross once per node instead of once per rank "
+            "and CC partials are pre-combined before the wire — while "
+            "every row stays bit-identical (result_ok)"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -12,7 +12,7 @@ from typing import Callable, Dict, List
 from . import (fig01_io_profile, fig02_cpu_collective, fig03_cpu_independent,
                fig09_ratio_speedup, fig10_scalability, fig11_overhead,
                fig12_metadata, fig13_wrf, fig14_faults, fig15_integrity,
-               table1_incite)
+               fig16_intranode, table1_incite)
 from .common import ExperimentResult
 
 #: All experiment modules, in paper order.  Every module exposes the
@@ -31,6 +31,7 @@ MODULES: Dict[str, ModuleType] = {
     "fig13": fig13_wrf,
     "fig14": fig14_faults,
     "fig15": fig15_integrity,
+    "fig16": fig16_intranode,
 }
 
 #: All experiment runners, in paper order (kept for API compatibility).

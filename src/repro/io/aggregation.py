@@ -22,13 +22,24 @@ def select_aggregators(machine: Machine, nprocs: int,
     """Pick aggregator ranks: the first ``per_node`` ranks of each node.
 
     Mirrors ROMIO's ``cb_config_list`` default of spreading aggregators
-    across nodes; a node hosting fewer ranks contributes what it has.
+    across nodes.  Every *occupied* node must host at least ``per_node``
+    ranks: silently truncating (the pre-fix behaviour) would hand that
+    node a thinner aggregator set than the hints promised and skew the
+    file-domain partition, so a thin run raises :class:`IOLayerError`
+    naming the node instead.  Nodes hosting no ranks at all are simply
+    skipped (a small job on a large machine is fine).
     """
     if per_node < 1:
         raise IOLayerError(f"per_node must be >= 1, got {per_node}")
     aggregators: List[int] = []
     for node in range(machine.spec.nodes):
         ranks = machine.ranks_on_node(node, nprocs)
+        if ranks and len(ranks) < per_node:
+            raise IOLayerError(
+                f"aggregators_per_node={per_node} but node {node} hosts "
+                f"only {len(ranks)} rank(s); lower the hint or run more "
+                f"ranks per node"
+            )
         aggregators.extend(ranks[:per_node])
     if not aggregators:
         raise IOLayerError("no aggregators selected")

@@ -31,12 +31,23 @@ class CollectiveHints:
     pipeline:
         Overlap iteration ``i``'s shuffle with iteration ``i+1``'s read
         (the nonblocking two-phase variant the paper profiles in Fig 1).
+    two_level:
+        Node-aware two-level aggregation.  The offset-list exchange and
+        the shuffle stage data through one leader per node before any
+        inter-node traffic (intra-node request aggregation, after Kang
+        et al., arXiv:1907.12656); the CC path additionally combines
+        partial results node-locally before they cross the network when
+        the reduction op is :attr:`~repro.core.ops.MapReduceOp.reassociable`
+        (in-node combiner, after Lee et al., arXiv:1511.04861).  Data
+        results are bit-identical to the one-level protocol; only
+        ``sim.time`` and cross-node wire bytes change.
     """
 
     cb_buffer_size: int = 4 * MiB
     aggregators_per_node: int = 1
     align_to_stripes: bool = True
     pipeline: bool = True
+    two_level: bool = False
 
     def __post_init__(self) -> None:
         if self.cb_buffer_size < 1:

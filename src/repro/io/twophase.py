@@ -34,6 +34,7 @@ from ..check.flags import checks_enabled
 from ..dataspace import RunList, merge_runlists
 from ..errors import IOLayerError
 from ..mpi import RankContext, collectives as coll
+from ..mpi.comm import Communicator, NodeSplit
 from ..mpi.wire import wire_size
 from ..obs import metrics
 from ..pfs import PFSFile
@@ -42,6 +43,24 @@ from .aggregation import (iteration_windows, partition_file_domains,
                           select_aggregators)
 from .hints import CollectiveHints
 from .requests import AccessRequest, RunPlacer
+
+
+def _record_shuffle(comm: Communicator, src: int, dst: int,
+                    closed: int, payload) -> None:
+    """Account one shuffle hop: the closed-form and measured wire bytes,
+    in total and split by whether the hop crosses a node boundary.  The
+    intra-/inter-node split always sums to ``io.shuffle_bytes``, which
+    :mod:`repro.obs.report` cross-checks as an invariant."""
+    m = metrics.current()
+    if m is None:
+        return
+    measured = wire_size(payload)
+    m.count("io.shuffle_bytes", closed)
+    m.count("io.shuffle_bytes_measured", measured)
+    prefix = ("io.intranode_bytes" if comm.node_of(src) == comm.node_of(dst)
+              else "io.internode_bytes")
+    m.count(prefix, closed)
+    m.count(prefix + "_measured", measured)
 
 
 @dataclass(frozen=True)
@@ -175,6 +194,23 @@ class TwoPhasePlan:
             lo, hi = self.windows[agg_idx][t]
             span = cache[key] = self.global_runs.clip(lo, hi).extent()
         return span
+
+    @cached_property
+    def rank_agg_matrix(self) -> np.ndarray:
+        """``bool[nranks, naggs]`` — does rank ``r`` request bytes in
+        *any* window of aggregator ``i``?  The two-level CC staging
+        flow table: aggregator ``i`` produces a partial for ``r`` iff
+        this is true, so every leader derives which nodes exchange
+        staged batches without any extra communication."""
+        _aggs, _ts, _lo, _hi, base = self._flat_windows
+        mat = np.zeros((len(self.all_runs), len(self.aggregators)),
+                       dtype=bool)
+        for i in range(len(self.aggregators)):
+            nw = len(self.windows[i])
+            if nw:
+                mat[:, i] = self.membership[:, base[i]:base[i] + nw].any(
+                    axis=1)
+        return mat
 
     def receiver_schedule(self, rank: int) -> List[Tuple[int, int]]:
         """``(t, aggregator_rank)`` pairs for every window holding data
@@ -310,6 +346,35 @@ def derive_plan(machine, nprocs: int, all_runs: List[RunList],
     return plan
 
 
+def _offset_exchange(ctx: RankContext, my_runs: RunList,
+                     hints: CollectiveHints) -> Generator:
+    """The offset-list exchange: every rank ends up with every rank's
+    run list, world-rank indexed.
+
+    One-level (the default) is ROMIO's flat allgather.  With
+    ``hints.two_level`` the lists are staged through one leader per
+    node: gather onto the leader over the intra-node communicator, an
+    allgather among leaders only, then an intra-node broadcast — so
+    only per-node message *aggregates* cross the network instead of
+    P×(P−1) individual lists.  Both paths return identical data.
+    """
+    if not hints.two_level or ctx.size == 1:
+        all_runs: List[RunList] = yield from coll.allgather(ctx.comm, my_runs)
+        return all_runs
+    ns = yield from ctx.comm.node_split()
+    node_lists = yield from coll.gather(ns.node_comm, my_runs, root=0)
+    merged: Optional[List[RunList]] = None
+    if ns.leader_comm is not None:
+        per_node = yield from coll.allgather(
+            ns.leader_comm, (tuple(ns.node_ranks), tuple(node_lists)))
+        merged = [None] * ctx.size  # type: ignore[list-item]
+        for ranks, lists in per_node:
+            for r, rl in zip(ranks, lists):
+                merged[r] = rl
+    all_runs = yield from coll.bcast(ns.node_comm, merged, root=0)
+    return all_runs
+
+
 def make_plan(ctx: RankContext, my_runs: RunList, file: PFSFile,
               hints: CollectiveHints,
               grid: Optional[Tuple[int, int]] = None) -> Generator:
@@ -326,7 +391,7 @@ def make_plan(ctx: RankContext, my_runs: RunList, file: PFSFile,
     experiment loops repeat identical requests), keyed by the run-list
     signatures, hints, grid and stripe alignment.
     """
-    all_runs: List[RunList] = yield from coll.allgather(ctx.comm, my_runs)
+    all_runs: List[RunList] = yield from _offset_exchange(ctx, my_runs, hints)
     if not PLAN_CACHE_ENABLED:
         return derive_plan(ctx.machine, ctx.size, all_runs, file, hints, grid)
     stripe = file.layout.stripe_size if hints.align_to_stripes else None
@@ -358,11 +423,20 @@ def _extract_pieces(window_data: np.ndarray, window_lo: int,
 def _aggregator_read_loop(ctx: RankContext, file: PFSFile,
                           plan: TwoPhasePlan, agg_idx: int, base_tag: int,
                           hints: CollectiveHints,
-                          timeline: Optional[PhaseTimeline]) -> Generator:
+                          timeline: Optional[PhaseTimeline],
+                          ns: Optional[NodeSplit] = None) -> Generator:
     """The aggregator side of a collective read: read windows, shuffle
-    pieces to their requesting ranks."""
+    pieces to their requesting ranks.
+
+    One-level (``ns=None``): one message per requesting rank per window,
+    tagged ``base_tag + t``.  Two-level: the per-rank payloads of one
+    window are batched per destination *node* and sent to that node's
+    leader, tagged ``base_tag + flat_index`` (flat-window tags keep
+    every (source, tag) pair unique once leaders multiplex traffic).
+    """
     my_windows = plan.windows[agg_idx]
     kernel = ctx.kernel
+    comm = ctx.comm.comm
     checking = checks_enabled()
 
     def issue_read(t: int):
@@ -385,25 +459,51 @@ def _aggregator_read_loop(ctx: RankContext, file: PFSFile,
         t1 = kernel.now
         sends = []
         copy_bytes = 0
-        for r in plan.window_ranks(agg_idx, t):
-            pieces = plan.window_pieces(r, agg_idx, t)
-            payload = _extract_pieces(window_data, read_lo, pieces)
-            nb = pieces.total_bytes
-            copy_bytes += nb
-            # Closed form of wire_size(payload) for a list of
-            # (int offset, array piece) pairs — skips the recursive walk.
-            nbytes = 16 + 24 * len(pieces) + nb
-            if checking and nbytes != wire_size(payload):
-                raise IOLayerError(
-                    f"shuffle wire-size accounting drifted: closed form "
-                    f"{nbytes} != measured {wire_size(payload)} for "
-                    f"rank {r}, window {t} of aggregator {agg_idx}")
-            m = metrics.current()
-            if m is not None:
-                m.count("io.shuffle_bytes", nbytes)
-                m.count("io.shuffle_bytes_measured", wire_size(payload))
-            sends.append(ctx.comm.isend(payload, r, base_tag + t,
-                                        nbytes=nbytes))
+        if ns is None:
+            for r in plan.window_ranks(agg_idx, t):
+                pieces = plan.window_pieces(r, agg_idx, t)
+                payload = _extract_pieces(window_data, read_lo, pieces)
+                nb = pieces.total_bytes
+                copy_bytes += nb
+                # Closed form of wire_size(payload) for a list of
+                # (int offset, array piece) pairs — skips the walk.
+                nbytes = 16 + 24 * len(pieces) + nb
+                if checking and nbytes != wire_size(payload):
+                    raise IOLayerError(
+                        f"shuffle wire-size accounting drifted: closed form "
+                        f"{nbytes} != measured {wire_size(payload)} for "
+                        f"rank {r}, window {t} of aggregator {agg_idx}")
+                _record_shuffle(comm, ctx.rank, r, nbytes, payload)
+                sends.append(ctx.comm.isend(payload, r, base_tag + t,
+                                            nbytes=nbytes))
+        else:
+            tag = base_tag + plan.flat_index(agg_idx, t)
+            by_node: Dict[int, List[Tuple[int, list]]] = {}
+            closed: Dict[int, int] = {}
+            for r in plan.window_ranks(agg_idx, t):
+                pieces = plan.window_pieces(r, agg_idx, t)
+                payload = _extract_pieces(window_data, read_lo, pieces)
+                nb = pieces.total_bytes
+                copy_bytes += nb
+                node = comm.node_of(r)
+                by_node.setdefault(node, []).append((r, payload))
+                # Closed form of one (rank, payload) batch entry: a
+                # 2-tuple (16) + the int rank (8) + the payload list.
+                closed[node] = (closed.get(node, 0)
+                                + 40 + 24 * len(pieces) + nb)
+            for node in sorted(by_node):
+                batch = by_node[node]
+                nbytes = 16 + closed[node]
+                if checking and nbytes != wire_size(batch):
+                    raise IOLayerError(
+                        f"two-level shuffle wire-size accounting drifted: "
+                        f"closed form {nbytes} != measured "
+                        f"{wire_size(batch)} for node {node}, window {t} "
+                        f"of aggregator {agg_idx}")
+                leader = comm.node_leader(node)
+                _record_shuffle(comm, ctx.rank, leader, nbytes, batch)
+                sends.append(ctx.comm.isend(batch, leader, tag,
+                                            nbytes=nbytes))
         yield from ctx.memcpy(copy_bytes)
         for req in sends:
             yield from ctx.wait_recording(req.event, "wait")
@@ -414,33 +514,90 @@ def _aggregator_read_loop(ctx: RankContext, file: PFSFile,
     return None
 
 
+def _unpack_pieces(placer: RunPlacer, buf: np.ndarray, pieces) -> int:
+    """Unpack one shuffle payload into the packed local buffer; returns
+    the byte count.  One payload carries the receiver's runs clipped to
+    a contiguous file window, and the packed buffer is in file order —
+    so the pieces land in a single contiguous span of the buffer."""
+    if not pieces:
+        return 0
+    first_off, first_piece = pieces[0]
+    (start, _fo, _n), = placer.place(first_off, len(first_piece))
+    pos = start
+    for _off, piece in pieces:
+        n = len(piece)
+        buf[pos:pos + n] = piece
+        pos += n
+    return pos - start
+
+
 def _receiver_loop(ctx: RankContext, plan: TwoPhasePlan, my_runs: RunList,
-                   base_tag: int) -> Generator:
-    """The receiver side: collect pieces from aggregators, unpack into
-    the packed local buffer.  Returns the buffer."""
+                   base_tag: int, ns: Optional[NodeSplit] = None) -> Generator:
+    """The receiver side: collect pieces, unpack into the packed local
+    buffer.  Returns the buffer.
+
+    One-level: one message per (window, aggregator) pair, straight from
+    the aggregator.  Two-level members receive the same payloads from
+    their node leader (at flat-window tags); two-level leaders run the
+    relay in :func:`_leader_read_relay`, peeling their own payloads out
+    of the per-node batches they forward.
+    """
     placer = RunPlacer(my_runs)
     buf = np.empty(placer.total_bytes, dtype=np.uint8)
+    if ns is not None and ns.is_leader:
+        yield from _leader_read_relay(ctx, plan, ns, base_tag, placer, buf)
+        return buf
     # Deterministic schedule: which aggregator sends to me at iteration
     # t — precomputed once per plan from the membership table.
     for t, agg_rank in plan.receiver_schedule(ctx.rank):
-        req = ctx.comm.irecv(agg_rank, base_tag + t)
+        if ns is None:
+            req = ctx.comm.irecv(agg_rank, base_tag + t)
+        else:
+            w = plan.flat_index(plan.aggregator_index(agg_rank), t)
+            req = ctx.comm.irecv(ns.leader, base_tag + w)
         msg = yield from ctx.wait_recording(req.event, "wait")
-        pieces = msg.data
-        nbytes = 0
-        if pieces:
-            # One message carries my_runs clipped to a contiguous file
-            # window, and the packed buffer is in file order — so the
-            # pieces land in a single contiguous span of the buffer.
-            first_off, first_piece = pieces[0]
-            (start, _fo, _n), = placer.place(first_off, len(first_piece))
-            pos = start
-            for _off, piece in pieces:
-                n = len(piece)
-                buf[pos:pos + n] = piece
-                pos += n
-            nbytes = pos - start
+        nbytes = _unpack_pieces(placer, buf, msg.data)
         yield from ctx.memcpy(nbytes)
     return buf
+
+
+def _leader_read_relay(ctx: RankContext, plan: TwoPhasePlan, ns: NodeSplit,
+                       base_tag: int, placer: RunPlacer,
+                       buf: np.ndarray) -> Generator:
+    """The node leader's side of a two-level read shuffle: receive each
+    per-node batch, keep this rank's own payload, forward the rest to
+    the requesting co-located ranks (an intra-node hop)."""
+    comm = ctx.comm.comm
+    checking = checks_enabled()
+    node_any = plan.membership[ns.node_ranks].any(axis=0)
+    for i, agg_rank in enumerate(plan.aggregators):
+        for t in range(len(plan.windows[i])):
+            w = plan.flat_index(i, t)
+            if not node_any[w]:
+                continue
+            tag = base_tag + w
+            req = ctx.comm.irecv(agg_rank, tag)
+            msg = yield from ctx.wait_recording(req.event, "wait")
+            forwards = []
+            for r, payload in msg.data:
+                if r == ctx.rank:
+                    nbytes = _unpack_pieces(placer, buf, payload)
+                    yield from ctx.memcpy(nbytes)
+                    continue
+                nb = sum(len(piece) for _off, piece in payload)
+                nbytes = 16 + 24 * len(payload) + nb
+                if checking and nbytes != wire_size(payload):
+                    raise IOLayerError(
+                        f"two-level forward wire-size accounting drifted: "
+                        f"closed form {nbytes} != measured "
+                        f"{wire_size(payload)} for rank {r}, window {t} "
+                        f"of aggregator {i}")
+                _record_shuffle(comm, ctx.rank, r, nbytes, payload)
+                forwards.append(ctx.comm.isend(payload, r, tag,
+                                               nbytes=nbytes))
+            for fwd in forwards:
+                yield from ctx.wait_recording(fwd.event, "wait")
+    return None
 
 
 def collective_read(ctx: RankContext, file: PFSFile, request: AccessRequest,
@@ -459,23 +616,42 @@ def collective_read(ctx: RankContext, file: PFSFile, request: AccessRequest,
     hints = hints or CollectiveHints()
     if plan is None:
         plan = yield from make_plan(ctx, request.runs, file, hints)
-    ntimes = plan.ntimes
-    base_tag = ctx.comm.next_collective_tags(max(ntimes, 1))
+    ns, base_tag = yield from _shuffle_setup(ctx, plan, hints)
     agg_idx = plan.aggregator_index(ctx.rank)
     procs = []
     if agg_idx is not None and plan.windows[agg_idx]:
         procs.append(ctx.kernel.process(
             _aggregator_read_loop(ctx, file, plan, agg_idx, base_tag,
-                                  hints, timeline),
+                                  hints, timeline, ns),
             name=f"agg:r{ctx.rank}",
         ))
     recv_proc = ctx.kernel.process(
-        _receiver_loop(ctx, plan, request.runs, base_tag),
+        _receiver_loop(ctx, plan, request.runs, base_tag, ns),
         name=f"recv:r{ctx.rank}",
     )
     procs.append(recv_proc)
     yield ctx.kernel.all_of(procs)
     return recv_proc.value
+
+
+def _shuffle_setup(ctx: RankContext, plan: TwoPhasePlan,
+                   hints: CollectiveHints) -> Generator:
+    """Common two-phase shuffle preamble: resolve the (cached) node
+    split when two-level mode is on, sanitize the two-level schedule
+    under ``REPRO_CHECK``, and reserve the shuffle tag block —
+    ``ntimes`` tags one-level, one tag per flat window two-level (leader
+    multiplexing needs unique (source, tag) pairs per window)."""
+    ns: Optional[NodeSplit] = None
+    if hints.two_level and ctx.size > 1:
+        ns = yield from ctx.comm.node_split()
+        if checks_enabled():
+            from ..check.plan import check_two_level_schedule
+            check_two_level_schedule(plan, ctx.comm.comm.node_of)
+        n_tags = sum(len(ws) for ws in plan.windows)
+    else:
+        n_tags = plan.ntimes
+    base_tag = ctx.comm.next_collective_tags(max(n_tags, 1))
+    return ns, base_tag
 
 
 def collective_write(ctx: RankContext, file: PFSFile, request: AccessRequest,
@@ -498,39 +674,61 @@ def collective_write(ctx: RankContext, file: PFSFile, request: AccessRequest,
             f"data has {flat.nbytes} bytes, request wants {request.nbytes}"
         )
     plan = yield from make_plan(ctx, request.runs, file, hints)
-    ntimes = plan.ntimes
-    base_tag = ctx.comm.next_collective_tags(max(ntimes, 1))
+    ns, base_tag = yield from _shuffle_setup(ctx, plan, hints)
     agg_idx = plan.aggregator_index(ctx.rank)
     procs = [ctx.kernel.process(
-        _writer_send_loop(ctx, plan, request.runs, flat, base_tag),
+        _writer_send_loop(ctx, plan, request.runs, flat, base_tag, ns),
         name=f"wsend:r{ctx.rank}",
     )]
     if agg_idx is not None and plan.windows[agg_idx]:
         procs.append(ctx.kernel.process(
             _aggregator_write_loop(ctx, file, plan, agg_idx, base_tag,
-                                   timeline),
+                                   timeline, ns),
             name=f"wagg:r{ctx.rank}",
         ))
     yield ctx.kernel.all_of(procs)
     return None
 
 
+def _build_write_payload(plan: TwoPhasePlan, placer: RunPlacer,
+                         flat: np.ndarray, rank: int, agg_idx: int,
+                         t: int) -> Tuple[list, int]:
+    """One rank's write-shuffle payload for one window: ``(offset,
+    piece)`` pairs sliced out of the packed buffer, plus the data byte
+    count."""
+    pieces = plan.window_pieces(rank, agg_idx, t)
+    payload = []
+    nbytes = 0
+    for off, n in pieces:
+        local, _fo, _cov = placer.place(off, n)[0]
+        payload.append((off, flat[local:local + n]))
+        nbytes += n
+    return payload, nbytes
+
+
 def _writer_send_loop(ctx: RankContext, plan: TwoPhasePlan, my_runs: RunList,
-                      flat: np.ndarray, base_tag: int) -> Generator:
-    """Send my pieces of each (aggregator, iteration) window."""
+                      flat: np.ndarray, base_tag: int,
+                      ns: Optional[NodeSplit] = None) -> Generator:
+    """Send my pieces of each (aggregator, iteration) window.
+
+    One-level: straight to the aggregator, tagged ``base_tag + t``.
+    Two-level members send the identical payloads to their node leader
+    (flat-window tags); two-level leaders instead run
+    :func:`_leader_write_relay`, which folds their own payloads into
+    the per-node batches.
+    """
     placer = RunPlacer(my_runs)
     checking = checks_enabled()
+    comm = ctx.comm.comm
+    if ns is not None and ns.is_leader:
+        yield from _leader_write_relay(ctx, plan, ns, placer, flat, base_tag)
+        return None
     for i, agg_rank in enumerate(plan.aggregators):
         for t, (w_lo, w_hi) in enumerate(plan.windows[i]):
             if not plan.rank_in_window(ctx.rank, i, t):
                 continue
-            pieces = plan.window_pieces(ctx.rank, i, t)
-            payload = []
-            nbytes = 0
-            for off, n in pieces:
-                local, _fo, cov = placer.place(off, n)[0]
-                payload.append((off, flat[local:local + n]))
-                nbytes += n
+            payload, nbytes = _build_write_payload(plan, placer, flat,
+                                                   ctx.rank, i, t)
             yield from ctx.memcpy(nbytes)
             wire = 16 + 24 * len(payload) + nbytes
             if checking and wire != wire_size(payload):
@@ -538,35 +736,95 @@ def _writer_send_loop(ctx: RankContext, plan: TwoPhasePlan, my_runs: RunList,
                     f"write shuffle wire-size accounting drifted: closed "
                     f"form {wire} != measured {wire_size(payload)} for "
                     f"window {t} of aggregator {i}")
-            m = metrics.current()
-            if m is not None:
-                m.count("io.shuffle_bytes", wire)
-                m.count("io.shuffle_bytes_measured", wire_size(payload))
-            yield from ctx.comm.send(payload, agg_rank, base_tag + t,
-                                     nbytes=wire)
+            if ns is None:
+                dest, tag = agg_rank, base_tag + t
+            else:
+                dest, tag = ns.leader, base_tag + plan.flat_index(i, t)
+            _record_shuffle(comm, ctx.rank, dest, wire, payload)
+            yield from ctx.comm.send(payload, dest, tag, nbytes=wire)
+    return None
+
+
+def _leader_write_relay(ctx: RankContext, plan: TwoPhasePlan, ns: NodeSplit,
+                        placer: RunPlacer, flat: np.ndarray,
+                        base_tag: int) -> Generator:
+    """The node leader's side of a two-level write shuffle: collect the
+    co-located ranks' payloads for each window (building its own
+    in-place), batch them per window and send one message per
+    (window, node) to the aggregator."""
+    comm = ctx.comm.comm
+    checking = checks_enabled()
+    member = plan.membership
+    for i, agg_rank in enumerate(plan.aggregators):
+        for t in range(len(plan.windows[i])):
+            w = plan.flat_index(i, t)
+            senders = [r for r in ns.node_ranks if member[r, w]]
+            if not senders:
+                continue
+            batch = []
+            closed = 0
+            for r in senders:
+                if r == ctx.rank:
+                    payload, nb = _build_write_payload(plan, placer, flat,
+                                                       r, i, t)
+                    yield from ctx.memcpy(nb)
+                else:
+                    payload = yield from ctx.comm.recv(r, base_tag + w)
+                    nb = sum(len(piece) for _off, piece in payload)
+                batch.append((r, payload))
+                closed += 40 + 24 * len(payload) + nb
+            nbytes = 16 + closed
+            if checking and nbytes != wire_size(batch):
+                raise IOLayerError(
+                    f"two-level write batch wire-size accounting drifted: "
+                    f"closed form {nbytes} != measured {wire_size(batch)} "
+                    f"for node {ns.node_index}, window {t} of "
+                    f"aggregator {i}")
+            _record_shuffle(comm, ctx.rank, agg_rank, nbytes, batch)
+            yield from ctx.comm.send(batch, agg_rank, base_tag + w,
+                                     nbytes=nbytes)
     return None
 
 
 def _aggregator_write_loop(ctx: RankContext, file: PFSFile,
                            plan: TwoPhasePlan, agg_idx: int, base_tag: int,
-                           timeline: Optional[PhaseTimeline]) -> Generator:
-    """Receive pieces for each window, assemble, write coalesced runs."""
+                           timeline: Optional[PhaseTimeline],
+                           ns: Optional[NodeSplit] = None) -> Generator:
+    """Receive pieces for each window, assemble, write coalesced runs.
+
+    Two-level mode receives one batch per sending *node* (from its
+    leader) instead of one message per sending rank; the assembled
+    window bytes are identical either way.
+    """
     global_runs = plan.global_runs_strict
     kernel = ctx.kernel
+    comm = ctx.comm.comm
     for t, (w_lo, w_hi) in enumerate(plan.windows[agg_idx]):
         needed = global_runs.clip(w_lo, w_hi)
         r_lo, r_hi = needed.extent()
         window = np.zeros(r_hi - r_lo, dtype=np.uint8)
         senders = plan.window_ranks(agg_idx, t)
         t0 = kernel.now
-        for r in senders:
-            req = ctx.comm.irecv(r, base_tag + t)
-            msg = yield from ctx.wait_recording(req.event, "wait")
-            nbytes = 0
-            for off, piece in msg.data:
-                window[off - r_lo:off - r_lo + len(piece)] = piece
-                nbytes += len(piece)
-            yield from ctx.memcpy(nbytes)
+        if ns is None:
+            for r in senders:
+                req = ctx.comm.irecv(r, base_tag + t)
+                msg = yield from ctx.wait_recording(req.event, "wait")
+                nbytes = 0
+                for off, piece in msg.data:
+                    window[off - r_lo:off - r_lo + len(piece)] = piece
+                    nbytes += len(piece)
+                yield from ctx.memcpy(nbytes)
+        else:
+            tag = base_tag + plan.flat_index(agg_idx, t)
+            for node in sorted({comm.node_of(r) for r in senders}):
+                req = ctx.comm.irecv(comm.node_leader(node), tag)
+                msg = yield from ctx.wait_recording(req.event, "wait")
+                nbytes = 0
+                for _r, payload in msg.data:
+                    for off, piece in payload:
+                        window[off - r_lo:off - r_lo + len(piece)] = piece
+                        nbytes += len(piece)
+                yield from ctx.memcpy(nbytes)
         if timeline is not None:
             timeline.record(ctx.rank, t, "shuffle", t0, kernel.now)
         t1 = kernel.now

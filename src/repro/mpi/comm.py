@@ -22,7 +22,7 @@ reserved space with per-collective sequence numbers (see
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
 from ..check.flags import checks_enabled
@@ -175,8 +175,12 @@ class Communicator:
         self.node_map = list(node_map) if node_map is not None else None
         Communicator._next_id += 1
         self.id = Communicator._next_id
-        #: Sub-communicators created by split, keyed by (split seq, color).
-        self._subcomms: Dict[Tuple[int, Any], "Communicator"] = {}
+        #: Sub-communicators created by split, keyed by member ranks so
+        #: repeated splits producing the same group reuse one object and
+        #: the registry stays bounded by the number of distinct groups.
+        self._subcomms: Dict[Tuple[int, ...], "Communicator"] = {}
+        # Lazily built node -> member world ranks table (ascending).
+        self._node_groups: Optional[Dict[int, List[int]]] = None
         self._unexpected: List[Deque[Message]] = [deque() for _ in range(nprocs)]
         self._posted: List[List[_PostedRecv]] = [[] for _ in range(nprocs)]
         # Per-(source, dest) sequencing enforcing MPI's non-overtaking
@@ -233,6 +237,24 @@ class Communicator:
             self.check_rank(rank)
             return self.node_map[rank]
         return self.machine.node_of_rank(rank, self.nprocs)
+
+    def node_groups(self) -> Dict[int, List[int]]:
+        """Node index -> member ranks (ascending), for occupied nodes.
+
+        Built lazily from the placement table and cached — placement is
+        fixed for the life of the communicator.  Callers must not
+        mutate the returned lists.
+        """
+        if self._node_groups is None:
+            groups: Dict[int, List[int]] = {}
+            for r in range(self.nprocs):
+                groups.setdefault(self._node_of[r], []).append(r)
+            self._node_groups = groups
+        return self._node_groups
+
+    def node_leader(self, node: int) -> int:
+        """Lowest rank placed on ``node`` (the two-level staging leader)."""
+        return self.node_groups()[node][0]
 
     def handle(self, rank: int) -> "CommHandle":
         """The per-rank view of this communicator."""
@@ -319,6 +341,32 @@ class Communicator:
         return describe_blocked(self, MIN_RESERVED_TAG)
 
 
+@dataclass(frozen=True)
+class NodeSplit:
+    """One rank's view of the two-level (node-aware) communicator pair.
+
+    Produced by :meth:`CommHandle.node_split`.  ``node_comm`` contains
+    the ranks sharing this rank's node, ordered by world rank (so its
+    rank 0 is the leader); ``leader_comm`` contains one leader per
+    occupied node and is ``None`` on non-leader ranks (the
+    ``MPI_UNDEFINED`` side of the split).
+    """
+
+    node_comm: "CommHandle"
+    leader_comm: Optional["CommHandle"]
+    #: World rank of this node's leader (lowest rank on the node).
+    leader: int
+    #: World ranks placed on this node, ascending.
+    node_ranks: List[int]
+    #: Node index this rank lives on.
+    node_index: int
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this rank is its node's staging leader."""
+        return self.leader_comm is not None
+
+
 class CommHandle:
     """One rank's endpoint of a :class:`Communicator`.
 
@@ -333,8 +381,8 @@ class CommHandle:
         #: Per-rank collective sequence number; advances identically on
         #: every rank because collectives are called in program order.
         self._coll_seq = 0
-        #: Per-rank split sequence number (same SPMD discipline).
-        self._split_seq = 0
+        #: Cached :meth:`node_split` result (built on first use).
+        self._node_split: Optional["NodeSplit"] = None
 
     @property
     def size(self) -> int:
@@ -417,8 +465,6 @@ class CommHandle:
         ``color=None`` (the ``MPI_UNDEFINED`` case).
         """
         from . import collectives as coll
-        split_id = self._split_seq
-        self._split_seq += 1
         entries = yield from coll.allgather(self, (color, key, self.rank))
         if color is None:
             return None
@@ -426,13 +472,46 @@ class CommHandle:
         ranks = [r for _k, r in members]
         newrank = ranks.index(self.rank)
         registry = self.comm._subcomms
-        group_key = (split_id, color)
+        # Keyed by membership, not by (call site, color): two splits
+        # producing the same ordered group share one Communicator, so a
+        # long sweep that splits every iteration cannot grow the
+        # registry past the number of distinct groups.  Reuse is safe
+        # because every collective drains fully before returning and
+        # each call gets fresh handles whose tag sequence restarts
+        # identically on all members.
+        group_key = tuple(ranks)
         if group_key not in registry:
             node_map = [self.comm.node_of(r) for r in ranks]
             registry[group_key] = Communicator(
                 self.kernel, self.comm.machine, len(ranks),
                 node_map=node_map)
         return registry[group_key].handle(newrank)
+
+    def node_split(self) -> Generator:
+        """Node-aware sub-communicators for two-level aggregation.
+
+        Collective over all ranks (two :meth:`split` calls under the
+        hood).  Returns a :class:`NodeSplit`: an intra-node communicator
+        whose rank 0 is this node's leader (its lowest world rank), and
+        a leaders-only communicator (``None`` on non-leader ranks).  The
+        result is cached on the handle, so repeated two-level operations
+        in one job pay the split allgathers once; after the first call
+        it returns without yielding.
+        """
+        if self._node_split is not None:
+            return self._node_split
+        comm = self.comm
+        my_node = comm.node_of(self.rank)
+        node_ranks = list(comm.node_groups()[my_node])
+        leader = node_ranks[0]
+        # key=0 orders the intra-node comm by world rank, putting the
+        # leader at intra-node rank 0 by construction.
+        node_comm = yield from self.split(my_node)
+        leader_comm = yield from self.split(0 if self.rank == leader else None)
+        self._node_split = NodeSplit(
+            node_comm=node_comm, leader_comm=leader_comm, leader=leader,
+            node_ranks=node_ranks, node_index=my_node)
+        return self._node_split
 
     # -- misc ---------------------------------------------------------------
     def trace_collective(self, op: str, payload: Any = None) -> None:

@@ -13,6 +13,11 @@ Every invocation also cross-checks the manifest invariants:
 * ``io.shuffle_bytes == io.shuffle_bytes_measured`` — the closed-form
   shuffle wire accounting of :mod:`repro.io.twophase` must match the
   observed recursive :func:`repro.mpi.wire.wire_size` sums exactly;
+  the same closed-vs-measured check applies independently to the
+  node-locality split (``io.intranode_bytes`` / ``io.internode_bytes``,
+  recorded whenever shuffle bytes are), and the two split terms must
+  sum back to the shuffle total — so a two-level run can never
+  satisfy the totals by mis-attributing a hop's locality;
 * with integrity metrics present, every injected corruption was
   detected (``faults.inject:*-corrupt == faults.detect:*-corrupt``),
   nothing reached the reduce-time provenance check, and detections
@@ -74,13 +79,24 @@ def check_invariants(manifest: Dict[str, Any], origin: str = "manifest"
     violations: List[str] = []
     counters = _counters(manifest)
 
-    closed = counters.get("io.shuffle_bytes")
-    measured = counters.get("io.shuffle_bytes_measured")
-    if closed is not None and measured is not None and closed != measured:
+    for base in ("io.shuffle_bytes", "io.intranode_bytes",
+                 "io.internode_bytes"):
+        closed = counters.get(base)
+        measured = counters.get(f"{base}_measured")
+        if closed is not None and measured is not None and closed != measured:
+            violations.append(
+                f"{origin}: shuffle wire accounting drifted — closed form "
+                f"{base}={_fmt(closed)} != observed "
+                f"{base}_measured={_fmt(measured)}")
+    total = counters.get("io.shuffle_bytes")
+    intra = counters.get("io.intranode_bytes", 0)
+    inter = counters.get("io.internode_bytes", 0)
+    if total is not None and (intra or inter) and intra + inter != total:
         violations.append(
-            f"{origin}: shuffle wire accounting drifted — closed form "
-            f"io.shuffle_bytes={_fmt(closed)} != observed "
-            f"io.shuffle_bytes_measured={_fmt(measured)}")
+            f"{origin}: shuffle locality split drifted — "
+            f"io.intranode_bytes={_fmt(intra)} + "
+            f"io.internode_bytes={_fmt(inter)} != "
+            f"io.shuffle_bytes={_fmt(total)}")
 
     integrity_on = any(n.startswith("integrity.") for n in counters)
     if integrity_on:
@@ -172,6 +188,8 @@ _BYTE_ROWS = (
     ("mpi.wire_bytes", "mpi", "payload bytes on the wire"),
     ("io.shuffle_bytes", "io", "shuffle bytes (closed form)"),
     ("io.shuffle_bytes_measured", "io", "shuffle bytes (observed)"),
+    ("io.intranode_bytes", "io", "shuffle bytes staying on-node"),
+    ("io.internode_bytes", "io", "shuffle bytes crossing nodes"),
 )
 
 

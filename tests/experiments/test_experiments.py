@@ -11,7 +11,8 @@ from repro.experiments import registry
 from repro.experiments import (fig01_io_profile, fig02_cpu_collective,
                                fig03_cpu_independent, fig09_ratio_speedup,
                                fig10_scalability, fig11_overhead,
-                               fig12_metadata, fig13_wrf, table1_incite)
+                               fig12_metadata, fig13_wrf, fig16_intranode,
+                               table1_incite)
 
 
 def setting(result, key):
@@ -21,7 +22,7 @@ def setting(result, key):
 def test_registry_lists_all_paper_artifacts():
     assert registry.names() == ["table1", "fig1", "fig2", "fig3", "fig9",
                                 "fig10", "fig11", "fig12", "fig13",
-                                "fig14", "fig15"]
+                                "fig14", "fig15", "fig16"]
     with pytest.raises(KeyError):
         registry.run("fig99")
 
@@ -107,6 +108,22 @@ def test_fig13_shape():
 
 def test_fig13_truth_verification():
     assert fig13_wrf.verify_against_truth(scale=0.02)
+
+
+def test_fig16_shape():
+    r = fig16_intranode.run(nprocs=16, per_rank_kib=192, rpns=(1, 2, 4))
+    # Every row's data is bit-identical between the two protocols.
+    assert all(r.column("result_ok"))
+    # Above one rank per node, two-level sends strictly fewer
+    # cross-node bytes on every row (both pipelines).
+    for rpn, one, two in zip(r.column("ranks_per_node"),
+                             r.column("inter_1lvl_kib"),
+                             r.column("inter_2lvl_kib")):
+        if rpn > 1:
+            assert two < one
+    # Non-divisors of nprocs are skipped, not half-run.
+    r = fig16_intranode.run(nprocs=16, per_rank_kib=192, rpns=(2, 3))
+    assert r.column("ranks_per_node") == [2, 2]
 
 
 def test_render_outputs_are_text():

@@ -28,8 +28,18 @@ def test_select_two_aggregators_per_node():
 
 def test_select_more_than_node_has():
     m = machine(nodes=3, cores=4)
-    # 4 ranks over 3 nodes: nodes carry 2/1/1; per_node=2 takes what exists.
-    assert select_aggregators(m, 4, per_node=2) == [0, 1, 2, 3]
+    # 4 ranks over 3 nodes: nodes carry 2/1/1; per_node=2 would silently
+    # truncate on the thin nodes (the pre-fix behaviour) — it must raise
+    # and name the first under-populated node instead.
+    with pytest.raises(IOLayerError, match="node 1 hosts only 1"):
+        select_aggregators(m, 4, per_node=2)
+
+
+def test_select_skips_empty_nodes():
+    m = machine(nodes=3, cores=4)
+    # 2 ranks on 3 nodes: node 2 hosts nothing and is skipped rather
+    # than flagged as under-populated.
+    assert select_aggregators(m, 2, per_node=1) == [0, 1]
 
 
 def test_select_validation():
